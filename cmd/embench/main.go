@@ -1,0 +1,58 @@
+// Command embench regenerates the paper's tables and figures from the
+// simulated device stack. Examples:
+//
+//	embench -list
+//	embench -run table2
+//	embench -run fig12 -scale 2
+//	embench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"emprof/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		run   = flag.String("run", "", "comma-separated experiment names (e.g. table2,fig11)")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.Float64("scale", 1, "SPEC/boot instruction budget in millions")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		quick = flag.Bool("quick", false, "shrunken grids for a fast smoke run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	var names []string
+	switch {
+	case *all:
+		names = experiments.Names()
+	case *run != "":
+		names = strings.Split(*run, ",")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick}
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		start := time.Now()
+		if err := experiments.Run(n, opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "embench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

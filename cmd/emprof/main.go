@@ -1,0 +1,103 @@
+// Command emprof applies the EMPROF analysis to a recorded EM capture
+// (acquired with emsim, or any capture in the same format) and reports the
+// LLC-miss stalls it finds. Examples:
+//
+//	emprof -i run.cap
+//	emprof -i run.cap -hist -rate
+//	emprof -i run.cap -enter 0.3 -min-stall 120e-9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emprof"
+	"emprof/internal/em"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "capture.cap", "input capture file")
+		enter    = flag.Float64("enter", 0, "override dip-entry threshold (0 = default)")
+		exit     = flag.Float64("exit", 0, "override dip-exit threshold (0 = default)")
+		minStall = flag.Float64("min-stall", 0, "override minimum stall duration in seconds (0 = default)")
+		window   = flag.Float64("window", 0, "override normalisation window in seconds (0 = default)")
+		hist     = flag.Bool("hist", false, "print the stall-latency histogram")
+		rate     = flag.Bool("rate", false, "print the miss rate over time")
+		events   = flag.Int("events", 0, "print the first N detected stalls")
+	)
+	flag.Parse()
+
+	cap, err := em.LoadCapture(*in)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := emprof.DefaultConfig()
+	if *enter > 0 {
+		cfg.EnterThreshold = *enter
+	}
+	if *exit > 0 {
+		cfg.ExitThreshold = *exit
+	}
+	if *minStall > 0 {
+		cfg.MinStallS = *minStall
+		if cfg.LongStallS < cfg.MinStallS {
+			cfg.LongStallS = cfg.MinStallS
+		}
+	}
+	if *window > 0 {
+		cfg.NormWindowS = *window
+	}
+
+	prof, err := emprof.Analyze(cap, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("capture: %d samples at %.2f MHz, clock %.3f GHz, %.3f ms\n",
+		len(cap.Samples), cap.SampleRate/1e6, cap.ClockHz/1e9, cap.Duration()*1e3)
+	fmt.Printf("LLC misses (stall events):  %d\n", prof.Misses)
+	fmt.Printf("refresh-coincident stalls:  %d\n", prof.RefreshStalls)
+	fmt.Printf("total stall time:           %.0f cycles (%.2f%% of execution)\n",
+		prof.StallCycles, 100*prof.StallFraction())
+	if len(prof.Stalls) > 0 {
+		fmt.Printf("average stall:              %.0f cycles (%.0f ns)\n",
+			prof.AvgStallCycles(), prof.AvgStallCycles()/cap.ClockHz*1e9)
+	}
+
+	if *hist && len(prof.Stalls) > 0 {
+		fmt.Println("\nstall-latency histogram (cycles):")
+		h := prof.LatencyHistogram(0, 1600, 16)
+		for i, c := range h.Counts {
+			fmt.Printf("  %6.0f  %6d\n", h.BinCenter(i), c)
+		}
+		fmt.Printf("  tail >= 300 cycles: %.1f%%\n", 100*h.TailFraction(300))
+	}
+	if *rate {
+		fmt.Println("\nmisses per time bin:")
+		binS := cap.Duration() / 40
+		if binS <= 0 {
+			binS = 1e-3
+		}
+		for i, v := range prof.MissRateSeries(binS) {
+			fmt.Printf("  %8.3f ms  %d\n", float64(i)*binS*1e3, v)
+		}
+	}
+	for i, s := range prof.Stalls {
+		if i >= *events {
+			break
+		}
+		kind := "miss"
+		if s.Refresh {
+			kind = "refresh"
+		}
+		fmt.Printf("  stall %4d: t=%9.3f µs  Δt=%7.1f ns  %6.0f cycles  depth=%.2f  %s\n",
+			i, s.StartS*1e6, s.DurationS*1e9, s.Cycles, s.Depth, kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emprof:", err)
+	os.Exit(1)
+}

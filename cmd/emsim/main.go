@@ -1,0 +1,102 @@
+// Command emsim runs a workload on a simulated device and records the EM
+// capture (plus optional ground truth), standing in for the paper's probe
+// + spectrum-analyzer acquisition. Examples:
+//
+//	emsim -device olimex -workload micro:1024:10 -o run.cap
+//	emsim -device samsung -workload spec:mcf -scale 2 -bw 60e6 -o mcf.cap
+//	emsim -device olimex -workload boot -truth -o boot.cap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emprof"
+	"emprof/internal/em"
+)
+
+func main() {
+	var (
+		deviceName = flag.String("device", "olimex", "target device: alcatel, samsung, olimex, sesc")
+		workload   = flag.String("workload", "micro:256:8", "workload: micro:TM:CM, spec:NAME, boot, or file:PATH.json")
+		scale      = flag.Float64("scale", 1, "spec/boot instruction budget in millions")
+		bw         = flag.Float64("bw", 0, "measurement bandwidth in Hz (0 = device default)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		noiseFree  = flag.Bool("noise-free", false, "disable probe noise and supply drift")
+		out        = flag.String("o", "capture.cap", "output capture file")
+		truth      = flag.Bool("truth", false, "print ground-truth summary to stdout")
+	)
+	flag.Parse()
+
+	dev, err := emprof.DeviceByName(*deviceName)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := buildWorkload(*workload, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{
+		Seed:        *seed,
+		BandwidthHz: *bw,
+		NoiseFree:   *noiseFree,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := em.SaveCapture(*out, run.Capture); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d samples at %.2f MHz (%.3f ms on %s)\n",
+		*out, len(run.Capture.Samples), run.Capture.SampleRate/1e6,
+		run.Capture.Duration()*1e3, dev.Name)
+	if *truth {
+		tr := run.Truth
+		fmt.Printf("ground truth: cycles=%d instructions=%d IPC=%.2f\n",
+			tr.Cycles, tr.Instructions, tr.IPC())
+		fmt.Printf("  LLC misses=%d stall intervals=%d fully-stalled cycles=%d (%.2f%%)\n",
+			len(tr.Misses), len(tr.Stalls), tr.FullStallCycles, 100*tr.StallFraction())
+	}
+}
+
+// buildWorkload parses the -workload specification.
+func buildWorkload(spec string, scale float64) (emprof.Workload, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "micro":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("micro workload needs micro:TM:CM, got %q", spec)
+		}
+		tm, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad TM: %w", err)
+		}
+		cm, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad CM: %w", err)
+		}
+		return emprof.Microbenchmark(tm, cm)
+	case "spec":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("spec workload needs spec:NAME, got %q", spec)
+		}
+		return emprof.SPECWorkload(parts[1], scale)
+	case "boot":
+		return emprof.BootWorkload(scale, 1), nil
+	case "file":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("file workload needs file:PATH, got %q", spec)
+		}
+		return emprof.LoadWorkload(parts[1])
+	default:
+		return nil, fmt.Errorf("unknown workload %q (micro:TM:CM, spec:NAME, boot, file:PATH)", spec)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emsim:", err)
+	os.Exit(1)
+}

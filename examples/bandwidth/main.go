@@ -1,0 +1,49 @@
+// Bandwidth reproduces the paper's Fig. 12 study as a library example:
+// how much measurement bandwidth does EMPROF need? The received signal's
+// sample period is 1/bandwidth, so narrow-band captures cannot resolve
+// short stalls — at 20 MHz the fast Alcatel phone only shows its very
+// longest stalls, while statistics stabilise from about 6% of the clock
+// frequency upward.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emprof"
+)
+
+func main() {
+	devices := []emprof.Device{emprof.DeviceAlcatel(), emprof.DeviceOlimex()}
+	bandwidths := []float64{20e6, 40e6, 60e6, 80e6, 160e6}
+
+	fmt.Printf("%-10s", "BW (MHz)")
+	for _, d := range devices {
+		fmt.Printf(" | %-10s stalls  avg-cyc", d.Name)
+	}
+	fmt.Println()
+
+	for _, bw := range bandwidths {
+		fmt.Printf("%-10.0f", bw/1e6)
+		for _, dev := range devices {
+			wl, err := emprof.SPECWorkload("mcf", 1.0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{Seed: 1, BandwidthHz: bw})
+			if err != nil {
+				log.Fatal(err)
+			}
+			prof, err := emprof.Analyze(run.Capture, emprof.DefaultConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" | %-10s %6d  %7.0f", "", len(prof.Stalls), prof.AvgStallCycles())
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("at 20 MHz the Alcatel detects only very long stalls (high average")
+	fmt.Println("latency, low count); both devices stabilise by 60-80 MHz — about 6%")
+	fmt.Println("of the processor clock, as the paper reports.")
+}

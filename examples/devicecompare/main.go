@@ -1,0 +1,50 @@
+// Devicecompare profiles the same workloads on all three of the paper's
+// device models (Table I / Table IV): the Alcatel phone's larger LLC and
+// faster memory, the Samsung phone's prefetcher, and the Olimex board's
+// fast clock against slow DRAM each leave a distinct fingerprint in the
+// stall statistics — visible entirely from the outside.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emprof"
+)
+
+func main() {
+	devices := emprof.Devices()
+	workloads := []string{"mcf", "bzip2", "equake", "crafty", "vpr"}
+
+	fmt.Printf("%-8s", "bench")
+	for _, d := range devices {
+		fmt.Printf(" | %8s %7s %7s", d.Name, "stalls", "stall%")
+	}
+	fmt.Println()
+
+	for _, name := range workloads {
+		fmt.Printf("%-8s", name)
+		for _, dev := range devices {
+			wl, err := emprof.SPECWorkload(name, 1.0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			prof, err := emprof.Analyze(run.Capture, emprof.DefaultConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" | %8s %7d %6.2f%%", "", len(prof.Stalls), 100*prof.StallFraction())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("expected shapes (paper Table IV): the Olimex board stalls the most")
+	fmt.Println("(fast clock, slow DRAM, no prefetcher); the Samsung prefetcher tames")
+	fmt.Println("the streaming benchmarks (bzip2, equake); the Alcatel's low-latency")
+	fmt.Println("LPDDR3 keeps its stall percentages lowest.")
+}

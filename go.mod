@@ -1,0 +1,3 @@
+module emprof
+
+go 1.22

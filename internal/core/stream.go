@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+
+	"emprof/internal/dsp"
+	"emprof/internal/em"
+)
+
+// StreamAnalyzer applies EMPROF incrementally, in bounded memory, as
+// samples arrive — the deployment mode the paper implies, where a
+// software-defined receiver streams for minutes (most SPEC runs exceed
+// the spectrum analyzer's record length, which is why the authors moved
+// to a streaming digitizer, Section VI). Push samples with Push, then
+// call Finalize for the profile. Its output matches Analyzer.Profile on
+// the same capture.
+type StreamAnalyzer struct {
+	cfg        Config
+	sampleRate float64
+	clockHz    float64
+
+	// Smoothing stage with centre compensation: the moving average of
+	// input j describes position j-lead.
+	smoother *dsp.MovingAverage
+	lead     int
+	// recent raw smoother outputs, to reproduce the batch analyzer's
+	// uncompensated tail.
+	smTail []float64
+
+	// Normalisation stage: trailing min/max over smoothed positions; the
+	// decision for position i is taken half a window later.
+	mmin, mmax *dsp.MovingExtremum
+	half       int
+	window     int
+	// pending holds smoothed values awaiting their (delayed) decision.
+	pending []float64
+
+	// Detection state.
+	n          int64 // raw samples pushed
+	emitted    int64 // positions decided
+	minSamples float64
+	inDip      bool
+	dipStart   int64
+	depth      float64
+
+	prof *Profile
+	// OnStall, when set, is invoked for each detected stall as soon as
+	// its end is decided.
+	OnStall func(Stall)
+
+	lastMin, lastMax float64
+	haveStats        bool
+}
+
+// NewStreamAnalyzer returns a streaming analyzer for a signal with the
+// given acquisition metadata.
+func NewStreamAnalyzer(cfg Config, sampleRate, clockHz float64) (*StreamAnalyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &StreamAnalyzer{
+		cfg:        cfg,
+		sampleRate: sampleRate,
+		clockHz:    clockHz,
+		prof: &Profile{
+			SampleRate: sampleRate,
+			ClockHz:    clockHz,
+		},
+		depth: math.Inf(1),
+	}
+	w := int(cfg.NormWindowS * sampleRate)
+	if w < 8 {
+		w = 8
+	}
+	s.window = w
+	s.half = w / 2
+	s.mmin = dsp.NewMovingMin(w)
+	s.mmax = dsp.NewMovingMax(w)
+	if cfg.SmoothSamples > 1 {
+		s.smoother = dsp.NewMovingAverage(cfg.SmoothSamples)
+		s.lead = (cfg.SmoothSamples - 1) / 2
+	}
+	s.minSamples = cfg.MinStallS * sampleRate
+	return s, nil
+}
+
+// Push feeds one magnitude sample.
+func (s *StreamAnalyzer) Push(x float64) {
+	s.n++
+	if s.smoother == nil {
+		s.feedPosition(x)
+		return
+	}
+	y := s.smoother.Process(x)
+	if len(s.smTail) == s.lead+1 {
+		copy(s.smTail, s.smTail[1:])
+		s.smTail = s.smTail[:s.lead]
+	}
+	s.smTail = append(s.smTail, y)
+	// The smoothed value for position n-1-lead is available now.
+	if s.n > int64(s.lead) {
+		s.feedPosition(y)
+	}
+}
+
+// feedPosition advances the normalisation stage with the smoothed value
+// of the next position.
+func (s *StreamAnalyzer) feedPosition(x float64) {
+	s.lastMin = s.mmin.Process(x)
+	s.lastMax = s.mmax.Process(x)
+	s.haveStats = true
+	s.pending = append(s.pending, x)
+	// Positions up to (#fed - 1) - half can now be decided.
+	for len(s.pending) > s.half {
+		v := s.pending[0]
+		s.pending = s.pending[1:]
+		s.decide(v)
+	}
+}
+
+// decide normalises one position against the current stats and runs the
+// dip detector.
+func (s *StreamAnalyzer) decide(x float64) {
+	i := s.emitted
+	s.emitted++
+	lo, hi := s.lastMin, s.lastMax
+	r := hi - lo
+	var v float64
+	if hi <= 0 || r < s.cfg.MinRangeFrac*hi {
+		v = 1
+	} else {
+		v = (x - lo) / r
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+	}
+
+	if !s.inDip {
+		if v < s.cfg.EnterThreshold {
+			s.inDip = true
+			s.dipStart = i
+			s.depth = v
+		}
+		return
+	}
+	if v < s.depth {
+		s.depth = v
+	}
+	if v > s.cfg.ExitThreshold {
+		s.flush(i)
+		s.inDip = false
+		s.depth = math.Inf(1)
+	}
+}
+
+// flush closes the current dip ending (exclusive) at position end.
+func (s *StreamAnalyzer) flush(end int64) {
+	durSamples := end - s.dipStart
+	durS := float64(durSamples) / s.sampleRate
+	if float64(durSamples) < s.minSamples {
+		return
+	}
+	maxDepth := s.cfg.MaxDipDepth
+	if durS >= s.cfg.LongStallS {
+		maxDepth = s.cfg.MaxDipDepthLong
+	}
+	if s.depth > maxDepth {
+		return
+	}
+	st := Stall{
+		StartSample: int(s.dipStart),
+		EndSample:   int(end),
+		StartS:      float64(s.dipStart) / s.sampleRate,
+		DurationS:   durS,
+		Cycles:      durS * s.clockHz,
+		Depth:       s.depth,
+		Refresh:     durS >= s.cfg.RefreshMinS,
+	}
+	s.prof.Stalls = append(s.prof.Stalls, st)
+	if st.Refresh {
+		s.prof.RefreshStalls++
+	} else {
+		s.prof.Misses++
+	}
+	s.prof.StallCycles += st.Cycles
+	if s.OnStall != nil {
+		s.OnStall(st)
+	}
+}
+
+// Finalize drains the pipeline and returns the profile. The analyzer must
+// not be pushed to afterwards.
+func (s *StreamAnalyzer) Finalize() *Profile {
+	// Feed the smoother's uncompensated tail, as the batch analyzer keeps
+	// the last `lead` positions unshifted.
+	if s.smoother != nil {
+		emit := int(s.n) - int(s.lead)
+		if emit < 0 {
+			emit = 0
+		}
+		// Positions already fed: emit; remaining positions take the tail
+		// values (the trailing averages ending at those positions).
+		for p := emit; p < int(s.n); p++ {
+			idx := len(s.smTail) - (int(s.n) - p)
+			if idx < 0 {
+				idx = 0
+			}
+			s.feedPosition(s.smTail[idx])
+		}
+	}
+	// Decide the trailing half-window with the final stats.
+	for len(s.pending) > 0 && s.haveStats {
+		v := s.pending[0]
+		s.pending = s.pending[1:]
+		s.decide(v)
+	}
+	if s.inDip {
+		s.flush(s.emitted)
+		s.inDip = false
+	}
+	s.prof.ExecCycles = float64(s.n) * (s.clockHz / s.sampleRate)
+	return s.prof
+}
+
+// ProfileStream runs the streaming analyzer over a whole capture; it is
+// the streaming counterpart of Analyzer.Profile and produces the same
+// result.
+func ProfileStream(c *em.Capture, cfg Config) (*Profile, error) {
+	s, err := NewStreamAnalyzer(cfg, c.SampleRate, c.ClockHz)
+	if err != nil {
+		return nil, err
+	}
+	for _, x := range c.Samples {
+		s.Push(x)
+	}
+	return s.Finalize(), nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+
+	"emprof/internal/cpu"
+)
+
+// Accuracy is the paper's validation metric: how closely EMPROF's reported
+// counts track the ground truth. The paper reports "Miss Accuracy" (the
+// detected event count vs the true count of stall-producing misses) and
+// "Stall Accuracy" (total reported stall cycles vs true fully-stalled
+// cycles); both are symmetric percentage errors clamped at 0.
+type Accuracy struct {
+	// Detected and Actual are the compared quantities.
+	Detected, Actual float64
+	// Percent is 100 × (1 − |Detected−Actual| / Actual), clamped to
+	// [0, 100]; 100 when both are zero.
+	Percent float64
+}
+
+// accuracy computes the clamped percentage agreement.
+func accuracy(detected, actual float64) Accuracy {
+	a := Accuracy{Detected: detected, Actual: actual}
+	switch {
+	case actual == 0 && detected == 0:
+		a.Percent = 100
+	case actual == 0:
+		a.Percent = 0
+	default:
+		a.Percent = 100 * (1 - math.Abs(detected-actual)/actual)
+		if a.Percent < 0 {
+			a.Percent = 0
+		}
+	}
+	return a
+}
+
+// CountAccuracy scores a profile's miss count against an expected count
+// (Table II: the microbenchmark's engineered TM). Refresh-coincident
+// stalls are included, since each refresh-lengthened event still wraps a
+// real LLC miss — they are only *reported* separately.
+func (p *Profile) CountAccuracy(expected int) Accuracy {
+	return accuracy(float64(len(p.Stalls)), float64(expected))
+}
+
+// Validation compares a profile against simulator ground truth.
+type Validation struct {
+	// MissCount compares detected stall events to ground-truth stall
+	// intervals (the unit the paper calls a MISS).
+	MissCount Accuracy
+	// StallCycles compares total reported stall cycles to ground truth.
+	StallCycles Accuracy
+	// Matched counts ground-truth intervals overlapped by ≥1 detected
+	// stall; Spurious counts detections overlapping no interval.
+	Matched, Spurious, MissedTruth int
+	// MeanAbsLatencyError is the mean |detected − true| duration over
+	// matched pairs, in cycles.
+	MeanAbsLatencyError float64
+}
+
+// ValidateAgainst scores the profile against the ground-truth stall
+// intervals recorded by the processor model. Detected stall positions are
+// converted to cycles through the capture metadata; matching is by
+// interval overlap with a tolerance of one sample period on each side
+// (the signal cannot resolve time finer than a sample, Section III-B).
+func (p *Profile) ValidateAgainst(truth []cpu.StallInterval) Validation {
+	var v Validation
+
+	trueCycles := 0.0
+	for _, t := range truth {
+		trueCycles += float64(t.StalledCycles())
+	}
+	v.MissCount = accuracy(float64(len(p.Stalls)), float64(len(truth)))
+	v.StallCycles = accuracy(p.StallCycles, trueCycles)
+
+	cps := p.ClockHz / p.SampleRate // cycles per sample
+	tol := cps
+
+	// Two-pointer sweep over both time-ordered interval lists.
+	type span struct{ lo, hi float64 }
+	det := make([]span, len(p.Stalls))
+	for i, s := range p.Stalls {
+		lo := float64(s.StartSample) * cps
+		det[i] = span{lo - tol, lo + s.Cycles + tol}
+	}
+	matchedDet := make([]bool, len(det))
+	var absErr float64
+	pairs := 0
+	j := 0
+	for _, t := range truth {
+		tlo, thi := float64(t.Start), float64(t.End)
+		for j < len(det) && det[j].hi < tlo {
+			j++
+		}
+		found := false
+		for k := j; k < len(det) && det[k].lo <= thi; k++ {
+			if det[k].hi >= tlo {
+				if !found {
+					found = true
+					d := (det[k].hi - det[k].lo) - 2*tol
+					absErr += math.Abs(d - (thi - tlo))
+					pairs++
+				}
+				matchedDet[k] = true
+			}
+		}
+		if found {
+			v.Matched++
+		} else {
+			v.MissedTruth++
+		}
+	}
+	for _, m := range matchedDet {
+		if !m {
+			v.Spurious++
+		}
+	}
+	if pairs > 0 {
+		v.MeanAbsLatencyError = absErr / float64(pairs)
+	}
+	return v
+}

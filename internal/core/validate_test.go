@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"emprof/internal/cpu"
+)
+
+func TestAccuracyMath(t *testing.T) {
+	cases := []struct {
+		det, act float64
+		want     float64
+	}{
+		{100, 100, 100},
+		{99, 100, 99},
+		{101, 100, 99},
+		{0, 0, 100},
+		{5, 0, 0},
+		{300, 100, 0}, // clamped
+	}
+	for _, c := range cases {
+		if got := accuracy(c.det, c.act).Percent; got != c.want {
+			t.Errorf("accuracy(%v,%v) = %v, want %v", c.det, c.act, got, c.want)
+		}
+	}
+}
+
+func TestCountAccuracy(t *testing.T) {
+	p := &Profile{Stalls: make([]Stall, 1020)}
+	if got := p.CountAccuracy(1024).Percent; got < 99.5 || got > 100 {
+		t.Fatalf("count accuracy %v", got)
+	}
+}
+
+func mkProfile(stalls []Stall) *Profile {
+	p := &Profile{SampleRate: 40e6, ClockHz: 1e9}
+	for _, s := range stalls {
+		s.Cycles = float64(s.EndSample-s.StartSample) * 25
+		p.Stalls = append(p.Stalls, s)
+		p.StallCycles += s.Cycles
+	}
+	return p
+}
+
+func TestValidateAgainstPerfectMatch(t *testing.T) {
+	// Detected stalls exactly covering the truth intervals.
+	truth := []cpu.StallInterval{
+		{Start: 10000, End: 10300, Stalled: 300, Misses: 1},
+		{Start: 50000, End: 50250, Stalled: 250, Misses: 1},
+	}
+	p := mkProfile([]Stall{
+		{StartSample: 400, EndSample: 412}, // 10000..10300 cycles
+		{StartSample: 2000, EndSample: 2010},
+	})
+	v := p.ValidateAgainst(truth)
+	if v.MissCount.Percent != 100 {
+		t.Fatalf("miss accuracy %v, want 100", v.MissCount.Percent)
+	}
+	if v.Matched != 2 || v.Spurious != 0 || v.MissedTruth != 0 {
+		t.Fatalf("matching %+v", v)
+	}
+	if v.StallCycles.Percent < 90 {
+		t.Fatalf("stall accuracy %v", v.StallCycles.Percent)
+	}
+}
+
+func TestValidateAgainstMissedAndSpurious(t *testing.T) {
+	truth := []cpu.StallInterval{
+		{Start: 10000, End: 10300, Stalled: 300, Misses: 1},
+		{Start: 200000, End: 200300, Stalled: 300, Misses: 1},
+	}
+	p := mkProfile([]Stall{
+		{StartSample: 400, EndSample: 412},   // matches first
+		{StartSample: 4000, EndSample: 4012}, // 100000: matches nothing
+	})
+	v := p.ValidateAgainst(truth)
+	if v.Matched != 1 || v.MissedTruth != 1 || v.Spurious != 1 {
+		t.Fatalf("matching %+v", v)
+	}
+}
+
+func TestValidateAgainstEmpty(t *testing.T) {
+	p := mkProfile(nil)
+	v := p.ValidateAgainst(nil)
+	if v.MissCount.Percent != 100 || v.StallCycles.Percent != 100 {
+		t.Fatalf("empty-vs-empty should be perfect: %+v", v)
+	}
+}
+
+func TestValidationUsesStalledCycles(t *testing.T) {
+	// Merged truth carries Stalled < span; stall-cycle accuracy must use
+	// the stalled count, not the span.
+	truth := []cpu.StallInterval{{Start: 10000, End: 10500, Stalled: 300, Misses: 2}}
+	p := mkProfile([]Stall{{StartSample: 400, EndSample: 412}}) // 300 cycles
+	v := p.ValidateAgainst(truth)
+	if v.StallCycles.Percent < 95 {
+		t.Fatalf("stall accuracy %v, want ~100 (300 vs 300)", v.StallCycles.Percent)
+	}
+}

@@ -1,0 +1,615 @@
+// Package cpu is the cycle-level processor model: an N-wide in-order
+// superscalar core in the style of the paper's SESC configuration ("a
+// 4-wide in-order processor, with two levels of caches with random
+// replacement policies, which mimics the behavior of the processors
+// encountered in many IoT and hand-held devices"). It executes a workload
+// instruction stream against the memory system, emits a per-cycle power
+// stream to registered sinks, and records the ground truth EMPROF is
+// validated against: every LLC miss, and the begin/end of every
+// fully-stalled interval the misses cause.
+package cpu
+
+import (
+	"fmt"
+
+	"emprof/internal/mem"
+	"emprof/internal/power"
+	"emprof/internal/sim"
+)
+
+// Config describes the core.
+type Config struct {
+	// Name labels the core in reports.
+	Name string
+	// ClockHz is the core clock; it converts cycles to wall time.
+	ClockHz float64
+	// Width is the in-order issue width.
+	Width int
+	// FetchQueue is the depth of the decoded-instruction buffer between
+	// fetch and issue.
+	FetchQueue int
+	// LoadQueue and StoreQueue bound outstanding memory operations; they
+	// determine how long the core can keep busy under a miss before it
+	// fully stalls.
+	LoadQueue  int
+	StoreQueue int
+	// Regs is the number of architectural registers tracked by the
+	// scoreboard.
+	Regs int
+	// BranchPenalty is the fetch-redirect bubble of a taken branch.
+	BranchPenalty int
+	// OoOWindow, when > 1, enables scoreboard out-of-order issue: ready
+	// instructions may issue from the first OoOWindow fetch-queue slots,
+	// subject to WAW/WAR hazards, with memory and control instructions
+	// kept in order. It models the paper's Section II-B observation that
+	// "a sophisticated out-of-order processor" averts the full stall for
+	// tens of cycles longer than the in-order cores of IoT devices.
+	// 0 or 1 selects pure in-order issue (the default and the paper's
+	// device class).
+	OoOWindow int
+	// Latencies per op class, in cycles.
+	IntALULat, IntMulLat, IntDivLat int
+	FPALULat, FPMulLat, FPDivLat    int
+	// Power is the unit-level power model.
+	Power power.Weights
+}
+
+// Validate checks the core configuration.
+func (c Config) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("cpu %s: clock %v <= 0", c.Name, c.ClockHz)
+	}
+	if c.Width < 1 || c.Width > 8 {
+		return fmt.Errorf("cpu %s: width %d out of [1,8]", c.Name, c.Width)
+	}
+	if c.FetchQueue < c.Width {
+		return fmt.Errorf("cpu %s: fetch queue %d < width %d", c.Name, c.FetchQueue, c.Width)
+	}
+	if c.OoOWindow < 0 || c.OoOWindow > c.FetchQueue {
+		return fmt.Errorf("cpu %s: OoO window %d out of [0, fetch queue]", c.Name, c.OoOWindow)
+	}
+	if c.LoadQueue < 1 || c.StoreQueue < 1 {
+		return fmt.Errorf("cpu %s: load/store queues must be >= 1", c.Name)
+	}
+	if c.Regs < 8 {
+		return fmt.Errorf("cpu %s: too few registers (%d)", c.Name, c.Regs)
+	}
+	for _, l := range []int{c.IntALULat, c.IntMulLat, c.IntDivLat, c.FPALULat, c.FPMulLat, c.FPDivLat} {
+		if l < 1 {
+			return fmt.Errorf("cpu %s: op latency %d < 1", c.Name, l)
+		}
+	}
+	return nil
+}
+
+// StallInterval is one ground-truth fully-stalled interval caused by LLC
+// miss(es): the unit the paper calls a "MISS" ("a sequence of stalled
+// cycles that are all caused by one LLC miss or even by several
+// highly-overlapped LLC misses").
+type StallInterval struct {
+	// Start is the first fully-stalled cycle, End is one past the last.
+	Start, End uint64
+	// Stalled is the number of actually fully-stalled cycles inside
+	// [Start, End): equal to End-Start for raw intervals, possibly less
+	// after merging across brief busy gaps (see MergeStalls).
+	Stalled uint64
+	// Misses is how many distinct LLC misses overlapped the interval.
+	Misses int
+	// RefreshHit is true when any contributing miss collided with DRAM
+	// refresh.
+	RefreshHit bool
+	// Region is the workload region executing when the stall began.
+	Region uint16
+}
+
+// Cycles returns the interval's length.
+func (s StallInterval) Cycles() uint64 { return s.End - s.Start }
+
+// Result summarises one simulated run.
+type Result struct {
+	// Cycles is the total execution time.
+	Cycles uint64
+	// Instructions is the dynamic instruction count.
+	Instructions uint64
+	// Stalls is the ground-truth list of LLC-miss-induced full stalls.
+	Stalls []StallInterval
+	// Misses is the ground-truth LLC miss list (shared with the memory
+	// system, with stall attribution filled in).
+	Misses []mem.MissRecord
+	// RegionSpans records when each workload region executed.
+	RegionSpans []sim.RegionSpan
+	// FullStallCycles counts all fully-stalled cycles attributed to LLC
+	// misses.
+	FullStallCycles uint64
+	// OtherStallCycles counts fully-idle cycles not attributable to LLC
+	// misses (dependence chains, branch bubbles).
+	OtherStallCycles uint64
+	// Mem is a copy of the memory-system counters.
+	Mem mem.SystemStats
+}
+
+// IPC returns instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// StallFraction returns the fraction of cycles fully stalled on LLC
+// misses — the paper's "Miss Latency (%Total Time)" metric of Table IV.
+func (r *Result) StallFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.FullStallCycles) / float64(r.Cycles)
+}
+
+// StalledMissCount returns how many ground-truth misses produced at least
+// one fully-stalled cycle (the events a stall-based detector can see).
+func (r *Result) StalledMissCount() int {
+	n := 0
+	for i := range r.Misses {
+		if r.Misses[i].Stalled {
+			n++
+		}
+	}
+	return n
+}
+
+// Core is the processor model bound to a memory system.
+type Core struct {
+	cfg Config
+	ms  *mem.System
+
+	sinks power.MultiSink
+
+	// MaxCycles aborts runaway simulations (0 = unlimited).
+	MaxCycles uint64
+}
+
+// New builds a core over the given memory system.
+func New(cfg Config, ms *mem.System) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{cfg: cfg, ms: ms}, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config, ms *mem.System) *Core {
+	c, err := New(cfg, ms)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Mem returns the attached memory system.
+func (c *Core) Mem() *mem.System { return c.ms }
+
+// AddSink registers a per-cycle power consumer.
+func (c *Core) AddSink(s power.Sink) { c.sinks = append(c.sinks, s) }
+
+// opLatency returns the execution latency of op.
+func (c *Core) opLatency(op sim.Op) int {
+	switch op {
+	case sim.OpIntMul:
+		return c.cfg.IntMulLat
+	case sim.OpIntDiv:
+		return c.cfg.IntDivLat
+	case sim.OpFPALU:
+		return c.cfg.FPALULat
+	case sim.OpFPMul:
+		return c.cfg.FPMulLat
+	case sim.OpFPDiv:
+		return c.cfg.FPDivLat
+	default:
+		return c.cfg.IntALULat
+	}
+}
+
+// fetchedInst is a decoded instruction waiting to issue.
+type fetchedInst struct {
+	inst sim.Inst
+	// done marks instructions already issued out of order; they are
+	// removed once they reach the queue head.
+	done bool
+}
+
+// Run executes the workload stream to completion and returns the run
+// summary with ground truth.
+func (c *Core) Run(stream sim.Stream) (*Result, error) {
+	cfg := c.cfg
+	regReady := make([]uint64, cfg.Regs)
+	// missReg marks registers whose pending value comes from an LLC miss,
+	// so idle cycles can be attributed to the memory system only when the
+	// miss is actually what blocks progress.
+	missReg := make([]bool, cfg.Regs)
+	fq := make([]fetchedInst, 0, cfg.FetchQueue)
+	loadDone := make([]uint64, 0, cfg.LoadQueue)
+	storeDone := make([]uint64, 0, cfg.StoreQueue)
+
+	var (
+		now          uint64
+		instructions uint64
+		fetchReady   uint64
+		streamDone   bool
+		divFreeAt    uint64
+		lastILine    uint64 = ^uint64(0)
+		lineMask            = uint64(c.ms.L1I().Config().LineBytes - 1)
+		// fetchWaitIsMiss records whether the current front-end bubble is
+		// due to an instruction-side LLC miss (as opposed to an LLC-hit
+		// refill or a branch redirect).
+		fetchWaitIsMiss bool
+
+		// Stall ground truth.
+		inStall      bool
+		curStall     StallInterval
+		stallMissSet map[int]struct{}
+		stalls       []StallInterval
+		fullStall    uint64
+		otherStall   uint64
+
+		// Region tracking.
+		curRegion   uint16
+		regionStart uint64
+		spans       []sim.RegionSpan
+	)
+	res := &Result{}
+
+	closeStall := func() {
+		if !inStall {
+			return
+		}
+		curStall.End = now
+		curStall.Stalled = now - curStall.Start
+		curStall.Misses = len(stallMissSet)
+		stalls = append(stalls, curStall)
+		inStall = false
+	}
+	closeRegion := func() {
+		if now > regionStart {
+			spans = append(spans, sim.RegionSpan{Region: curRegion, StartCycle: regionStart, EndCycle: now})
+		}
+	}
+
+	var next sim.Inst
+	havePending := false
+
+	for {
+		// Retire completed loads/stores.
+		loadDone = compactDone(loadDone, now)
+		storeDone = compactDone(storeDone, now)
+
+		// --- Fetch ---
+		fetchedThisCycle := false
+		if !streamDone && fetchReady <= now {
+			for len(fq) < cfg.FetchQueue {
+				if !havePending {
+					if !stream.Next(&next) {
+						streamDone = true
+						break
+					}
+					havePending = true
+				}
+				line := next.PC &^ lineMask
+				if line != lastILine {
+					r := c.ms.Access(now, next.PC, next.PC, mem.KindInst)
+					lastILine = line
+					if !r.L1Hit {
+						// Fetch bubbles until the line arrives; L1I
+						// contents were updated, so the next attempt hits.
+						fetchReady = r.Ready
+						fetchWaitIsMiss = r.LLCMiss || r.Coalesced
+						if fetchReady > now {
+							break
+						}
+					}
+				}
+				fq = append(fq, fetchedInst{inst: next})
+				havePending = false
+				fetchedThisCycle = true
+				if next.Op.IsCtl() && next.Taken {
+					// Redirect: bubble the front-end.
+					fetchReady = now + uint64(cfg.BranchPenalty)
+					fetchWaitIsMiss = false
+					lastILine = ^uint64(0)
+					break
+				}
+				if len(fq) >= cfg.FetchQueue {
+					break
+				}
+			}
+		}
+
+		// --- Issue (up to Width; in order, or scoreboard-OoO within a
+		// window when configured) ---
+		var act power.Activity
+		act.FetchActive = fetchedThisCycle
+		issued := 0
+		// blockedByMiss records whether the reason issue stopped this
+		// cycle is an outstanding LLC miss (dependence on a missing load,
+		// or a memory queue clogged by one); idle cycles are attributed
+		// to the memory system only then.
+		blockedByMiss := false
+
+		// tryIssue attempts to issue one instruction. It returns
+		// (true, _) when issued, or (false, structural) where structural
+		// is true when a structural resource (queue, divider) blocked it
+		// rather than an operand.
+		tryIssue := func(in *sim.Inst) (bool, bool) {
+			if in.Src1 >= 0 && regReady[in.Src1] > now {
+				blockedByMiss = blockedByMiss || missReg[in.Src1]
+				return false, false
+			}
+			if in.Src2 >= 0 && regReady[in.Src2] > now {
+				blockedByMiss = blockedByMiss || missReg[in.Src2]
+				return false, false
+			}
+			switch in.Op {
+			case sim.OpTouch:
+				// Warm install: no timing, no miss record.
+				c.ms.WarmLine(in.Addr, false)
+			case sim.OpLoad:
+				if len(loadDone) >= cfg.LoadQueue {
+					blockedByMiss = blockedByMiss || c.ms.OutstandingMisses(now) > 0
+					return false, true
+				}
+				r := c.ms.Access(now, in.PC, in.Addr, mem.KindLoad)
+				if in.Dst >= 0 {
+					regReady[in.Dst] = r.Ready
+					missReg[in.Dst] = r.LLCMiss || r.Coalesced
+				}
+				loadDone = append(loadDone, r.Ready)
+				act.MemAccesses++
+			case sim.OpStore:
+				if len(storeDone) >= cfg.StoreQueue {
+					blockedByMiss = blockedByMiss || c.ms.OutstandingMisses(now) > 0
+					return false, true
+				}
+				r := c.ms.Access(now, in.PC, in.Addr, mem.KindStore)
+				storeDone = append(storeDone, r.Ready)
+				act.MemAccesses++
+			case sim.OpIntDiv, sim.OpFPDiv:
+				// Unpipelined divider.
+				if divFreeAt > now {
+					return false, true
+				}
+				lat := uint64(c.opLatency(in.Op))
+				divFreeAt = now + lat
+				if in.Dst >= 0 {
+					regReady[in.Dst] = now + lat
+					missReg[in.Dst] = false
+				}
+				if in.Op == sim.OpIntDiv {
+					act.IntMulDiv++
+				} else {
+					act.FPMulDiv++
+				}
+			default:
+				lat := uint64(c.opLatency(in.Op))
+				if in.Dst >= 0 {
+					regReady[in.Dst] = now + lat
+					missReg[in.Dst] = false
+				}
+				switch in.Op {
+				case sim.OpIntMul:
+					act.IntMulDiv++
+				case sim.OpFPALU:
+					act.FPALU++
+				case sim.OpFPMul:
+					act.FPMulDiv++
+				case sim.OpIntALU, sim.OpBranch, sim.OpCall, sim.OpReturn:
+					act.IntALU++
+				}
+			}
+			issued++
+			instructions++
+			return true, false
+		}
+
+		// enterRegion performs region bookkeeping for an issuing slot.
+		enterRegion := func(in *sim.Inst) {
+			if in.Region != curRegion {
+				closeRegion()
+				curRegion = in.Region
+				regionStart = now
+				c.ms.CurrentRegion = curRegion
+			}
+		}
+
+		if cfg.OoOWindow <= 1 {
+			// Pure in-order issue from the queue head.
+			for issued < cfg.Width && len(fq) > 0 {
+				in := &fq[0].inst
+				enterRegion(in)
+				ok, _ := tryIssue(in)
+				if !ok {
+					break
+				}
+				fq = fq[1:]
+			}
+		} else {
+			c.issueOoO(fq, &act, now, regReady, missReg, tryIssue, enterRegion, &issued)
+			// Retire issued entries from the head.
+			for len(fq) > 0 && fq[0].done {
+				fq = fq[1:]
+			}
+		}
+		if len(fq) == 0 && fetchReady > now {
+			// Front-end bubble: memory-attributable only for I-side
+			// LLC misses.
+			blockedByMiss = fetchWaitIsMiss
+		}
+
+		// --- Stall accounting & power ---
+		outMisses := c.ms.OutstandingMisses(now)
+		act.Issued = issued
+		act.MissesOut = outMisses
+
+		fullyIdle := issued == 0 && !fetchedThisCycle
+		memStall := fullyIdle && outMisses > 0 && blockedByMiss
+		if memStall {
+			fullStall++
+			if !inStall {
+				inStall = true
+				curStall = StallInterval{Start: now, Region: curRegion}
+				stallMissSet = make(map[int]struct{}, 4)
+			}
+			// Attribute every outstanding miss to this interval. Records
+			// are detect-ordered; outstanding ones are always among the
+			// most recent, so a bounded backward scan suffices.
+			misses := c.ms.Misses()
+			lo := len(misses) - 64
+			if lo < 0 {
+				lo = 0
+			}
+			for id := len(misses) - 1; id >= lo; id-- {
+				m := &misses[id]
+				if m.Detect > now || m.Complete <= now {
+					continue
+				}
+				if _, seen := stallMissSet[id]; !seen {
+					stallMissSet[id] = struct{}{}
+					if !m.Stalled {
+						m.Stalled = true
+						m.StallStart = now
+					}
+					if m.RefreshHit {
+						curStall.RefreshHit = true
+					}
+				}
+				m.StallEnd = now + 1
+			}
+			// Power: fully stalled core draws only its baseline.
+			actStalled := power.Activity{MissesOut: outMisses}
+			c.push(cfg.Power.Cycle(actStalled))
+		} else {
+			if fullyIdle {
+				otherStall++
+			}
+			closeStall()
+			// An active unpipelined divider keeps switching even when no
+			// instruction issues, so dependence stalls on a divide do not
+			// look like memory stalls in the signal.
+			if divFreeAt > now {
+				act.IntMulDiv++
+			}
+			c.push(cfg.Power.Cycle(act))
+		}
+
+		now++
+		if c.MaxCycles > 0 && now >= c.MaxCycles {
+			return nil, fmt.Errorf("cpu %s: exceeded MaxCycles=%d", cfg.Name, c.MaxCycles)
+		}
+
+		// --- Termination ---
+		if streamDone && !havePending && len(fq) == 0 &&
+			len(loadDone) == 0 && len(storeDone) == 0 && outMisses == 0 {
+			break
+		}
+	}
+
+	closeStall()
+	closeRegion()
+
+	res.Cycles = now
+	res.Instructions = instructions
+	res.Stalls = stalls
+	res.Misses = c.ms.Misses()
+	res.RegionSpans = spans
+	res.FullStallCycles = fullStall
+	res.OtherStallCycles = otherStall
+	res.Mem = c.ms.Stats()
+	return res, nil
+}
+
+// push fans a cycle's power to the sinks.
+func (c *Core) push(p float64) {
+	for _, s := range c.sinks {
+		s.PushCycle(p)
+	}
+}
+
+// compactDone removes completed entries (done <= now) in place.
+func compactDone(q []uint64, now uint64) []uint64 {
+	out := q[:0]
+	for _, d := range q {
+		if d > now {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// issueOoO performs scoreboard out-of-order issue within the configured
+// window: any ready instruction in the first OoOWindow slots may issue,
+// except that (a) memory operations stay in program order relative to
+// each other, (b) control transfers issue only from the oldest unissued
+// slot, and (c) WAW/WAR hazards against older unissued instructions block
+// a younger one.
+func (c *Core) issueOoO(fq []fetchedInst, act *power.Activity, now uint64,
+	regReady []uint64, missReg []bool,
+	tryIssue func(*sim.Inst) (bool, bool),
+	enterRegion func(*sim.Inst), issued *int) {
+	window := c.cfg.OoOWindow
+	if window > len(fq) {
+		window = len(fq)
+	}
+	memBlocked := false
+	for slot := 0; slot < window && *issued < c.cfg.Width; slot++ {
+		e := &fq[slot]
+		if e.done {
+			continue
+		}
+		in := &e.inst
+		// Memory order: a younger memory op waits for all older ones.
+		if in.Op.IsMem() && memBlocked {
+			continue
+		}
+		// Control transfers only issue from the oldest unissued slot.
+		oldest := true
+		for k := 0; k < slot; k++ {
+			if !fq[k].done {
+				oldest = false
+				break
+			}
+		}
+		if in.Op.IsCtl() && !oldest {
+			if in.Op.IsMem() {
+				memBlocked = true
+			}
+			continue
+		}
+		// WAW/WAR against older unissued instructions.
+		hazard := false
+		for k := 0; k < slot && !hazard; k++ {
+			if fq[k].done {
+				continue
+			}
+			old := &fq[k].inst
+			if in.Dst >= 0 && (old.Dst == in.Dst || old.Src1 == in.Dst || old.Src2 == in.Dst) {
+				hazard = true
+			}
+		}
+		if hazard {
+			if in.Op.IsMem() {
+				memBlocked = true
+			}
+			continue
+		}
+		if oldest {
+			enterRegion(in)
+		}
+		ok, _ := tryIssue(in)
+		if ok {
+			e.done = true
+		} else if in.Op.IsMem() {
+			memBlocked = true
+		}
+	}
+}

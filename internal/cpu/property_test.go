@@ -1,0 +1,169 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emprof/internal/mem"
+	"emprof/internal/sim"
+)
+
+// randomProgram builds a random but well-formed instruction sequence from
+// a seed: mixed op classes, bounded dependence chains, loop-local PCs,
+// and data addresses spanning hit and miss territory.
+func randomProgram(seed uint64, n int) []sim.Inst {
+	rng := sim.NewRNG(seed)
+	insts := make([]sim.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		in := sim.Inst{
+			PC:   uint64(0x1000 + (i%128)*4),
+			Dst:  int16(24 + rng.Intn(16)),
+			Src1: sim.RegNone,
+			Src2: sim.RegNone,
+		}
+		switch rng.Intn(10) {
+		case 0, 1:
+			in.Op = sim.OpLoad
+			in.Dst = int16(8 + rng.Intn(8))
+			in.Addr = uint64(rng.Intn(4 << 20))
+			in.Size = 4
+		case 2:
+			in.Op = sim.OpStore
+			in.Addr = uint64(rng.Intn(4 << 20))
+			in.Size = 4
+			in.Dst = sim.RegNone
+		case 3:
+			in.Op = sim.OpFPALU
+		case 4:
+			in.Op = sim.OpIntMul
+		case 5:
+			in.Op = sim.OpBranch
+			in.Taken = rng.Intn(3) == 0
+			in.Target = uint64(0x1000 + rng.Intn(128)*4)
+		default:
+			in.Op = sim.OpIntALU
+		}
+		if rng.Intn(3) == 0 && in.Op != sim.OpStore {
+			in.Src1 = int16(24 + rng.Intn(16))
+		}
+		insts = append(insts, in)
+	}
+	return insts
+}
+
+// TestRunInvariants checks, over random programs and core shapes, the
+// properties every simulation must satisfy: all instructions retire, the
+// cycle count respects the issue-width bound, stalls stay inside the run,
+// stall accounting is internally consistent, and runs are deterministic.
+func TestRunInvariants(t *testing.T) {
+	f := func(seed uint64, widthRaw, windowRaw uint8) bool {
+		width := int(widthRaw%4) + 1
+		window := int(windowRaw % 24)
+		n := 3000
+
+		mk := func() *Result {
+			ms, err := mem.NewSystem(testMemConfig(), sim.NewRNG(seed), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testCPUConfig(width)
+			cfg.FetchQueue = 32
+			cfg.OoOWindow = window
+			c, err := New(cfg, ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(sim.NewSliceStream(randomProgram(seed, n)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		res := mk()
+
+		// Every instruction retires exactly once.
+		if res.Instructions != uint64(n) {
+			t.Logf("retired %d of %d", res.Instructions, n)
+			return false
+		}
+		// The core cannot beat its issue width.
+		if res.Cycles < uint64(n/width) {
+			t.Logf("cycles %d below width bound %d", res.Cycles, n/width)
+			return false
+		}
+		// Stall intervals are ordered, non-overlapping, inside the run,
+		// and sum to the fully-stalled cycle count.
+		var sum uint64
+		prevEnd := uint64(0)
+		for _, s := range res.Stalls {
+			if s.Start < prevEnd || s.End <= s.Start || s.End > res.Cycles {
+				t.Logf("bad interval %+v (prevEnd %d, cycles %d)", s, prevEnd, res.Cycles)
+				return false
+			}
+			prevEnd = s.End
+			sum += s.Stalled
+		}
+		if sum != res.FullStallCycles {
+			t.Logf("interval sum %d != full stall cycles %d", sum, res.FullStallCycles)
+			return false
+		}
+		// Stall fraction is a fraction.
+		if res.StallFraction() < 0 || res.StallFraction() > 1 {
+			return false
+		}
+		// Every stalled miss has a coherent attribution window.
+		for _, m := range res.Misses {
+			if m.Complete < m.Detect {
+				return false
+			}
+			if m.Stalled && (m.StallEnd <= m.StallStart || m.StallStart < m.Detect) {
+				t.Logf("bad miss attribution %+v", m)
+				return false
+			}
+		}
+		// Determinism.
+		res2 := mk()
+		if res2.Cycles != res.Cycles || res2.FullStallCycles != res.FullStallCycles ||
+			len(res2.Misses) != len(res.Misses) {
+			t.Log("nondeterministic run")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOoONeverSlower checks that enabling the out-of-order window never
+// increases total execution time on random programs (it can only find
+// more work to do per cycle).
+func TestOoONeverSlower(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func(window int) uint64 {
+			ms, err := mem.NewSystem(testMemConfig(), sim.NewRNG(1), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testCPUConfig(2)
+			cfg.FetchQueue = 32
+			cfg.OoOWindow = window
+			c, err := New(cfg, ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(sim.NewSliceStream(randomProgram(seed, 2000)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Cycles
+		}
+		inOrder, ooo := run(0), run(16)
+		// Allow a tiny slack: the OoO core's issue choices can shift a
+		// DRAM bank/refresh collision by a few cycles.
+		return ooo <= inOrder+inOrder/50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllDevicesValid(t *testing.T) {
+	for _, d := range append(All(), SESC()) {
+		if err := d.Validate(); err != nil {
+			t.Errorf("device %s invalid: %v", d.Name, err)
+		}
+	}
+}
+
+func TestTableISpecs(t *testing.T) {
+	a, s, o := Alcatel(), Samsung(), Olimex()
+	if a.CPU.ClockHz != 1.1e9 || s.CPU.ClockHz != 800e6 || o.CPU.ClockHz != 1.008e9 {
+		t.Fatal("Table I clock frequencies wrong")
+	}
+	if a.Cores != 4 || s.Cores != 1 || o.Cores != 1 {
+		t.Fatal("Table I core counts wrong")
+	}
+	if a.CoreName != "Cortex-A7" || s.CoreName != "Cortex-A5" || o.CoreName != "Cortex-A8" {
+		t.Fatal("Table I core names wrong")
+	}
+	// LLC sizes: Alcatel 1 MB; Samsung and Olimex 256 KB.
+	if a.Mem.LLC.SizeBytes != 1<<20 {
+		t.Fatal("Alcatel LLC must be 1 MB")
+	}
+	if s.Mem.LLC.SizeBytes != 256<<10 || o.Mem.LLC.SizeBytes != 256<<10 {
+		t.Fatal("Samsung/Olimex LLC must be 256 KB")
+	}
+	// Only Samsung has the hardware prefetcher.
+	if a.Mem.Prefetch || !s.Mem.Prefetch || o.Mem.Prefetch {
+		t.Fatal("prefetcher assignment wrong")
+	}
+	// Random replacement, as in the paper's simulator.
+	if o.Mem.LLC.Policy.String() != "random" {
+		t.Fatal("LLC replacement must be random")
+	}
+}
+
+func TestMemoryLatencySimilarInNanoseconds(t *testing.T) {
+	// The paper: Samsung and Olimex main-memory latencies are similar in
+	// nanoseconds while clocks differ, so Olimex pays more cycles.
+	s, o := Samsung(), Olimex()
+	sNS := float64(s.Mem.DRAM.RowMiss) / s.CPU.ClockHz * 1e9
+	oNS := float64(o.Mem.DRAM.RowMiss) / o.CPU.ClockHz * 1e9
+	if math.Abs(sNS-oNS) > 40 {
+		t.Fatalf("row-miss latencies %v ns vs %v ns too different", sNS, oNS)
+	}
+	if o.Mem.DRAM.RowMiss <= s.Mem.DRAM.RowMiss {
+		t.Fatal("Olimex must pay more cycles per miss than Samsung")
+	}
+}
+
+func TestRefreshParameters(t *testing.T) {
+	o := Olimex()
+	intervalUS := float64(o.Mem.DRAM.RefreshInterval) / o.CPU.ClockHz * 1e6
+	durationUS := float64(o.Mem.DRAM.RefreshDuration) / o.CPU.ClockHz * 1e6
+	if math.Abs(intervalUS-70) > 2 {
+		t.Fatalf("refresh interval %v µs, want ~70 (paper Fig. 5)", intervalUS)
+	}
+	if durationUS < 1.5 || durationUS > 3 {
+		t.Fatalf("refresh duration %v µs, want 2-3 (paper Fig. 5)", durationUS)
+	}
+}
+
+func TestSESCConfig(t *testing.T) {
+	d := SESC()
+	if d.CPU.Width != 4 {
+		t.Fatal("SESC validation core must be 4-wide (paper Section III-B)")
+	}
+	if !math.IsInf(d.EM.SNRdB, 1) || d.EM.DriftDepth != 0 {
+		t.Fatal("SESC proxy signal must be noise- and drift-free")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"alcatel", "Samsung", "olimex", "SESC"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("nexus"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestCycleConversions(t *testing.T) {
+	o := Olimex()
+	if got := o.Cycles(1e-6); got != 1008 {
+		t.Fatalf("1 µs = %d cycles, want 1008", got)
+	}
+	if got := o.Seconds(1008); math.Abs(got-1e-6) > 1e-12 {
+		t.Fatalf("1008 cycles = %v s, want 1 µs", got)
+	}
+	if o.ClockHz() != o.CPU.ClockHz {
+		t.Fatal("ClockHz accessor mismatch")
+	}
+}
+
+func TestValidationCatchesBadDevice(t *testing.T) {
+	d := Olimex()
+	d.EM.ProbeGain = 0
+	if err := d.Validate(); err == nil {
+		t.Fatal("zero probe gain accepted")
+	}
+	d = Olimex()
+	d.EM.DefaultBandwidthHz = d.CPU.ClockHz
+	if err := d.Validate(); err == nil {
+		t.Fatal("bandwidth above Nyquist accepted")
+	}
+}

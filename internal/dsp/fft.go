@@ -1,0 +1,113 @@
+// Package dsp is the signal-processing substrate for the EMPROF
+// reproduction. The paper's receiver chain and profiler need band-limiting
+// filters, decimation, sliding-window statistics, envelopes, and short-time
+// spectra; Go's standard library provides none of these, so they are
+// implemented here from scratch on top of math and math/cmplx only.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) {
+	fftDir(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x, including the 1/N
+// normalisation. len(x) must be a power of two.
+func IFFT(x []complex128) {
+	fftDir(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftDir(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Magnitudes writes |x[i]| into out (allocated if nil) and returns it.
+func Magnitudes(x []complex128, out []float64) []float64 {
+	if out == nil || len(out) < len(x) {
+		out = make([]float64, len(x))
+	}
+	out = out[:len(x)]
+	for i, v := range x {
+		out[i] = math.Hypot(real(v), imag(v))
+	}
+	return out
+}
+
+// PowerSpectrum returns |X[k]|^2 / N for the first N/2+1 bins of the FFT of
+// the windowed real signal x zero-padded to a power of two. It is the
+// workhorse behind the spectrogram used for code attribution.
+func PowerSpectrum(x []float64, window []float64) []float64 {
+	n := len(x)
+	if window != nil && len(window) != n {
+		panic("dsp: window length mismatch")
+	}
+	m := NextPow2(n)
+	buf := make([]complex128, m)
+	for i := 0; i < n; i++ {
+		v := x[i]
+		if window != nil {
+			v *= window[i]
+		}
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	half := m/2 + 1
+	out := make([]float64, half)
+	inv := 1 / float64(m)
+	for k := 0; k < half; k++ {
+		re, im := real(buf[k]), imag(buf[k])
+		out[k] = (re*re + im*im) * inv
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with streaming state, used by the
+// EM receiver model to band-limit the synthesized emanation signal to the
+// configured measurement bandwidth before decimation.
+type FIR struct {
+	taps []float64
+	// hist is a circular delay line of the last len(taps)-1 inputs.
+	hist []float64
+	pos  int
+}
+
+// NewFIR returns a streaming filter with the given tap weights.
+func NewFIR(taps []float64) *FIR {
+	if len(taps) == 0 {
+		panic("dsp: FIR with no taps")
+	}
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t, hist: make([]float64, len(taps))}
+}
+
+// Taps returns a copy of the filter coefficients.
+func (f *FIR) Taps() []float64 {
+	t := make([]float64, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
+// Reset clears the delay line.
+func (f *FIR) Reset() {
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+	f.pos = 0
+}
+
+// Process filters one input sample and returns the output sample.
+func (f *FIR) Process(x float64) float64 {
+	f.hist[f.pos] = x
+	// Convolve: taps[0] multiplies the newest sample.
+	acc := 0.0
+	idx := f.pos
+	for _, t := range f.taps {
+		acc += t * f.hist[idx]
+		idx--
+		if idx < 0 {
+			idx = len(f.hist) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.hist) {
+		f.pos = 0
+	}
+	return acc
+}
+
+// ProcessBlock filters the block in, writing outputs to out (allocated if
+// nil) and returning it.
+func (f *FIR) ProcessBlock(in, out []float64) []float64 {
+	if out == nil || len(out) < len(in) {
+		out = make([]float64, len(in))
+	}
+	out = out[:len(in)]
+	for i, x := range in {
+		out[i] = f.Process(x)
+	}
+	return out
+}
+
+// GroupDelay returns the filter's group delay in samples for linear-phase
+// (symmetric) designs: (N-1)/2.
+func (f *FIR) GroupDelay() float64 {
+	return float64(len(f.taps)-1) / 2
+}
+
+// LowpassFIR designs a windowed-sinc lowpass filter with the given
+// normalized cutoff (cutoff = fc / fs, in (0, 0.5)) and tap count. Odd tap
+// counts give a type-I linear-phase filter. The Hamming window keeps
+// stopband ripple below ~-53 dB, ample for the receiver model.
+func LowpassFIR(cutoff float64, taps int) *FIR {
+	if cutoff <= 0 || cutoff >= 0.5 {
+		panic(fmt.Sprintf("dsp: lowpass cutoff %v out of (0, 0.5)", cutoff))
+	}
+	if taps < 3 {
+		panic("dsp: lowpass needs at least 3 taps")
+	}
+	h := make([]float64, taps)
+	w := Hamming(taps)
+	mid := float64(taps-1) / 2
+	sum := 0.0
+	for i := range h {
+		t := float64(i) - mid
+		var v float64
+		if t == 0 {
+			v = 2 * cutoff
+		} else {
+			v = math.Sin(2*math.Pi*cutoff*t) / (math.Pi * t)
+		}
+		h[i] = v * w[i]
+		sum += h[i]
+	}
+	// Normalise to unity DC gain so the filter preserves signal level.
+	for i := range h {
+		h[i] /= sum
+	}
+	return NewFIR(h)
+}
+
+// MovingAverage is an O(1)-per-sample boxcar filter. The paper's Fig. 1
+// overlays exactly this on the raw magnitude to make the stall dip visible.
+type MovingAverage struct {
+	buf  []float64
+	pos  int
+	n    int
+	sum  float64
+	full bool
+}
+
+// NewMovingAverage returns a moving average over a window of n samples.
+func NewMovingAverage(n int) *MovingAverage {
+	if n <= 0 {
+		panic("dsp: moving average window must be positive")
+	}
+	return &MovingAverage{buf: make([]float64, n), n: n}
+}
+
+// Process pushes x and returns the average of the last min(count, n)
+// samples.
+func (m *MovingAverage) Process(x float64) float64 {
+	old := m.buf[m.pos]
+	m.buf[m.pos] = x
+	m.pos++
+	if m.pos == m.n {
+		m.pos = 0
+		m.full = true
+	}
+	if m.full {
+		m.sum += x - old
+		return m.sum / float64(m.n)
+	}
+	m.sum += x
+	return m.sum / float64(m.pos)
+}
+
+// Reset clears the window.
+func (m *MovingAverage) Reset() {
+	for i := range m.buf {
+		m.buf[i] = 0
+	}
+	m.pos, m.sum, m.full = 0, 0, false
+}
+
+// ProcessBlock applies the moving average to a block.
+func (m *MovingAverage) ProcessBlock(in, out []float64) []float64 {
+	if out == nil || len(out) < len(in) {
+		out = make([]float64, len(in))
+	}
+	out = out[:len(in)]
+	for i, x := range in {
+		out[i] = m.Process(x)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIRIdentity(t *testing.T) {
+	f := NewFIR([]float64{1})
+	for i, x := range []float64{1, -2, 3.5, 0} {
+		if y := f.Process(x); y != x {
+			t.Fatalf("sample %d: got %v, want %v", i, y, x)
+		}
+	}
+}
+
+func TestFIRDelay(t *testing.T) {
+	// taps [0,1] delay the input by one sample.
+	f := NewFIR([]float64{0, 1})
+	in := []float64{1, 2, 3, 4}
+	want := []float64{0, 1, 2, 3}
+	for i, x := range in {
+		if y := f.Process(x); y != want[i] {
+			t.Fatalf("sample %d: got %v, want %v", i, y, want[i])
+		}
+	}
+}
+
+func TestFIRConvolutionMatchesReference(t *testing.T) {
+	taps := []float64{0.25, 0.5, -0.125, 0.0625}
+	f := NewFIR(taps)
+	in := []float64{1, 0, -1, 2, 3, -2, 0.5, 0}
+	for i, x := range in {
+		got := f.Process(x)
+		want := 0.0
+		for k, tap := range taps {
+			if i-k >= 0 {
+				want += tap * in[i-k]
+			}
+		}
+		if !almostEqual(got, want, 1e-12) {
+			t.Fatalf("sample %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFIRReset(t *testing.T) {
+	f := NewFIR([]float64{0.5, 0.5})
+	f.Process(10)
+	f.Reset()
+	if y := f.Process(2); !almostEqual(y, 1, 1e-12) {
+		t.Fatalf("after reset got %v, want 1", y)
+	}
+}
+
+func TestLowpassFIRDCGain(t *testing.T) {
+	f := LowpassFIR(0.1, 63)
+	// Feed a long DC signal; the steady-state output must be ~1.
+	var y float64
+	for i := 0; i < 200; i++ {
+		y = f.Process(1)
+	}
+	if !almostEqual(y, 1, 1e-9) {
+		t.Fatalf("DC gain %v, want 1", y)
+	}
+}
+
+func TestLowpassFIRAttenuatesStopband(t *testing.T) {
+	const cutoff = 0.05
+	f := LowpassFIR(cutoff, 101)
+	// Pass a tone well into the stopband (0.25 cycles/sample) and measure
+	// output RMS over the steady state.
+	var sumSq float64
+	n := 0
+	for i := 0; i < 1200; i++ {
+		y := f.Process(math.Sin(2 * math.Pi * 0.25 * float64(i)))
+		if i >= 200 {
+			sumSq += y * y
+			n++
+		}
+	}
+	rms := math.Sqrt(sumSq / float64(n))
+	if rms > 0.01 {
+		t.Fatalf("stopband RMS %v, want < 0.01", rms)
+	}
+}
+
+func TestLowpassFIRPassesPassband(t *testing.T) {
+	f := LowpassFIR(0.2, 101)
+	var sumSq float64
+	n := 0
+	for i := 0; i < 1200; i++ {
+		y := f.Process(math.Sin(2 * math.Pi * 0.02 * float64(i)))
+		if i >= 200 {
+			sumSq += y * y
+			n++
+		}
+	}
+	rms := math.Sqrt(sumSq / float64(n))
+	want := 1 / math.Sqrt2
+	if math.Abs(rms-want) > 0.05 {
+		t.Fatalf("passband RMS %v, want ~%v", rms, want)
+	}
+}
+
+func TestLowpassFIRValidation(t *testing.T) {
+	for _, c := range []struct {
+		cutoff float64
+		taps   int
+	}{{0, 11}, {0.5, 11}, {0.6, 11}, {0.1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LowpassFIR(%v, %d) did not panic", c.cutoff, c.taps)
+				}
+			}()
+			LowpassFIR(c.cutoff, c.taps)
+		}()
+	}
+}
+
+func TestFIRGroupDelay(t *testing.T) {
+	f := LowpassFIR(0.1, 41)
+	if got := f.GroupDelay(); got != 20 {
+		t.Fatalf("group delay %v, want 20", got)
+	}
+}
+
+func TestMovingAverageExact(t *testing.T) {
+	m := NewMovingAverage(3)
+	in := []float64{3, 6, 9, 12, 0}
+	want := []float64{3, 4.5, 6, 9, 7}
+	for i, x := range in {
+		if y := m.Process(x); !almostEqual(y, want[i], 1e-12) {
+			t.Fatalf("sample %d: got %v, want %v", i, y, want[i])
+		}
+	}
+}
+
+func TestMovingAverageMatchesNaive(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		w := int(wRaw%16) + 1
+		m := NewMovingAverage(w)
+		s := uint64(seed)
+		var hist []float64
+		for i := 0; i < 100; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			x := float64(int32(s>>33)) / (1 << 24)
+			hist = append(hist, x)
+			got := m.Process(x)
+			lo := len(hist) - w
+			if lo < 0 {
+				lo = 0
+			}
+			sum := 0.0
+			for _, v := range hist[lo:] {
+				sum += v
+			}
+			want := sum / float64(len(hist)-lo)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingAverageReset(t *testing.T) {
+	m := NewMovingAverage(4)
+	m.Process(100)
+	m.Process(200)
+	m.Reset()
+	if y := m.Process(8); !almostEqual(y, 8, 1e-12) {
+		t.Fatalf("after reset got %v, want 8", y)
+	}
+}

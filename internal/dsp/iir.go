@@ -1,0 +1,124 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a direct-form-II-transposed second-order IIR section:
+//
+//	y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2] − a1·y[n-1] − a2·y[n-2]
+//
+// Used where a cheap recursive response beats a long FIR: DC blocking
+// before spectral analysis and single-knob smoothing of display series.
+type Biquad struct {
+	b0, b1, b2 float64
+	a1, a2     float64
+	z1, z2     float64
+}
+
+// NewBiquad returns a section with explicit coefficients (a0 normalised
+// to 1).
+func NewBiquad(b0, b1, b2, a1, a2 float64) *Biquad {
+	return &Biquad{b0: b0, b1: b1, b2: b2, a1: a1, a2: a2}
+}
+
+// Process filters one sample.
+func (f *Biquad) Process(x float64) float64 {
+	y := f.b0*x + f.z1
+	f.z1 = f.b1*x - f.a1*y + f.z2
+	f.z2 = f.b2*x - f.a2*y
+	return y
+}
+
+// Reset clears the delay state.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// ProcessBlock filters a block in place into out (allocated if nil).
+func (f *Biquad) ProcessBlock(in, out []float64) []float64 {
+	if out == nil || len(out) < len(in) {
+		out = make([]float64, len(in))
+	}
+	out = out[:len(in)]
+	for i, x := range in {
+		out[i] = f.Process(x)
+	}
+	return out
+}
+
+// LowpassBiquad designs a Butterworth-style lowpass biquad with cutoff
+// fc (normalised to the sample rate, in (0, 0.5)).
+func LowpassBiquad(fc float64) *Biquad {
+	if fc <= 0 || fc >= 0.5 {
+		panic(fmt.Sprintf("dsp: biquad cutoff %v out of (0, 0.5)", fc))
+	}
+	const q = math.Sqrt2 / 2
+	w := 2 * math.Pi * fc
+	alpha := math.Sin(w) / (2 * q)
+	cosw := math.Cos(w)
+	a0 := 1 + alpha
+	return NewBiquad(
+		(1-cosw)/2/a0,
+		(1-cosw)/a0,
+		(1-cosw)/2/a0,
+		-2*cosw/a0,
+		(1-alpha)/a0,
+	)
+}
+
+// HighpassBiquad designs a Butterworth-style highpass biquad with cutoff
+// fc (normalised, in (0, 0.5)).
+func HighpassBiquad(fc float64) *Biquad {
+	if fc <= 0 || fc >= 0.5 {
+		panic(fmt.Sprintf("dsp: biquad cutoff %v out of (0, 0.5)", fc))
+	}
+	const q = math.Sqrt2 / 2
+	w := 2 * math.Pi * fc
+	alpha := math.Sin(w) / (2 * q)
+	cosw := math.Cos(w)
+	a0 := 1 + alpha
+	return NewBiquad(
+		(1+cosw)/2/a0,
+		-(1+cosw)/a0,
+		(1+cosw)/2/a0,
+		-2*cosw/a0,
+		(1-alpha)/a0,
+	)
+}
+
+// DCBlocker is a one-pole/one-zero highpass that removes the mean of a
+// signal while passing everything else: y[n] = x[n] − x[n-1] + r·y[n-1].
+// Spectral attribution uses it so frame spectra compare modulation
+// structure rather than the (probe-gain-dependent) DC level.
+type DCBlocker struct {
+	r      float64
+	xPrev  float64
+	yPrev  float64
+	primed bool
+}
+
+// NewDCBlocker returns a blocker with pole radius r in (0, 1); values
+// near 1 give a narrower notch at DC.
+func NewDCBlocker(r float64) *DCBlocker {
+	if r <= 0 || r >= 1 {
+		panic(fmt.Sprintf("dsp: DC blocker pole %v out of (0, 1)", r))
+	}
+	return &DCBlocker{r: r}
+}
+
+// Process filters one sample.
+func (d *DCBlocker) Process(x float64) float64 {
+	if !d.primed {
+		// Prime on the first sample so a constant input yields zero
+		// immediately instead of a step transient.
+		d.xPrev = x
+		d.primed = true
+	}
+	y := x - d.xPrev + d.r*d.yPrev
+	d.xPrev = x
+	d.yPrev = y
+	return y
+}
+
+// Reset clears the state.
+func (d *DCBlocker) Reset() { d.xPrev, d.yPrev, d.primed = 0, 0, false }

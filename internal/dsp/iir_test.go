@@ -1,0 +1,120 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// rms measures a tone through a filter after settling.
+func rmsThrough(process func(float64) float64, freq float64, n int) float64 {
+	var sumSq float64
+	count := 0
+	for i := 0; i < n; i++ {
+		y := process(math.Sin(2 * math.Pi * freq * float64(i)))
+		if i >= n/3 {
+			sumSq += y * y
+			count++
+		}
+	}
+	return math.Sqrt(sumSq / float64(count))
+}
+
+func TestLowpassBiquadResponse(t *testing.T) {
+	const fc = 0.05
+	pass := rmsThrough(LowpassBiquad(fc).Process, 0.005, 4000)
+	stop := rmsThrough(LowpassBiquad(fc).Process, 0.25, 4000)
+	want := 1 / math.Sqrt2
+	if math.Abs(pass-want) > 0.05 {
+		t.Fatalf("passband RMS %v, want ~%v", pass, want)
+	}
+	if stop > 0.05*pass {
+		t.Fatalf("stopband RMS %v not attenuated (pass %v)", stop, pass)
+	}
+}
+
+func TestHighpassBiquadResponse(t *testing.T) {
+	const fc = 0.05
+	stop := rmsThrough(HighpassBiquad(fc).Process, 0.005, 4000)
+	pass := rmsThrough(HighpassBiquad(fc).Process, 0.25, 4000)
+	if stop > 0.12*pass {
+		t.Fatalf("low-frequency RMS %v not attenuated (pass %v)", stop, pass)
+	}
+}
+
+func TestLowpassBiquadDCGain(t *testing.T) {
+	f := LowpassBiquad(0.1)
+	var y float64
+	for i := 0; i < 2000; i++ {
+		y = f.Process(1)
+	}
+	if math.Abs(y-1) > 1e-6 {
+		t.Fatalf("DC gain %v, want 1", y)
+	}
+}
+
+func TestBiquadReset(t *testing.T) {
+	f := LowpassBiquad(0.1)
+	f.Process(100)
+	f.Reset()
+	a := f.Process(1)
+	g := LowpassBiquad(0.1)
+	b := g.Process(1)
+	if a != b {
+		t.Fatalf("reset state differs: %v vs %v", a, b)
+	}
+}
+
+func TestBiquadBlock(t *testing.T) {
+	f := LowpassBiquad(0.1)
+	out := f.ProcessBlock([]float64{1, 1, 1}, nil)
+	if len(out) != 3 || out[0] == 0 {
+		t.Fatalf("block output %v", out)
+	}
+}
+
+func TestBiquadCutoffValidation(t *testing.T) {
+	for _, fc := range []float64{0, 0.5, 0.7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cutoff %v accepted", fc)
+				}
+			}()
+			LowpassBiquad(fc)
+		}()
+	}
+}
+
+func TestDCBlockerRemovesMean(t *testing.T) {
+	d := NewDCBlocker(0.995)
+	// Constant input: output must stay ~0 from the very first sample.
+	for i := 0; i < 100; i++ {
+		if y := d.Process(5); math.Abs(y) > 1e-9 {
+			t.Fatalf("constant input leaked %v at sample %d", y, i)
+		}
+	}
+	// A tone riding on DC keeps its AC component.
+	d.Reset()
+	var sumSq float64
+	n := 0
+	for i := 0; i < 6000; i++ {
+		y := d.Process(3 + math.Sin(2*math.Pi*0.05*float64(i)))
+		if i > 2000 {
+			sumSq += y * y
+			n++
+		}
+	}
+	rms := math.Sqrt(sumSq / float64(n))
+	if math.Abs(rms-1/math.Sqrt2) > 0.08 {
+		t.Fatalf("AC RMS through blocker %v, want ~0.707", rms)
+	}
+}
+
+func TestDCBlockerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pole 1 accepted")
+		}
+	}()
+	NewDCBlocker(1)
+}

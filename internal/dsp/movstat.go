@@ -1,0 +1,159 @@
+package dsp
+
+// MovingExtremum tracks the minimum or maximum over a sliding window of the
+// last w samples in amortised O(1) per sample using a monotonic deque.
+// EMPROF's normalisation stage (Section IV of the paper) runs one moving
+// minimum and one moving maximum over the signal magnitude; with receiver
+// sample rates in the tens of MHz, a naive O(w) rescan per sample would
+// dominate profiling cost, so the deque is the load-bearing data structure
+// here (see BenchmarkMovingMinMax for the ablation).
+type MovingExtremum struct {
+	w     int
+	isMin bool
+	// ring buffer of (index, value) candidates, front = current extremum.
+	idx   []int64
+	val   []float64
+	head  int
+	tail  int // one past last
+	count int64
+}
+
+// NewMovingMin returns a sliding-window minimum over w samples.
+func NewMovingMin(w int) *MovingExtremum { return newMovingExtremum(w, true) }
+
+// NewMovingMax returns a sliding-window maximum over w samples.
+func NewMovingMax(w int) *MovingExtremum { return newMovingExtremum(w, false) }
+
+func newMovingExtremum(w int, isMin bool) *MovingExtremum {
+	if w <= 0 {
+		panic("dsp: moving extremum window must be positive")
+	}
+	return &MovingExtremum{
+		w:     w,
+		isMin: isMin,
+		idx:   make([]int64, w+1),
+		val:   make([]float64, w+1),
+	}
+}
+
+func (m *MovingExtremum) empty() bool { return m.head == m.tail }
+
+func (m *MovingExtremum) pushBack(i int64, v float64) {
+	m.idx[m.tail] = i
+	m.val[m.tail] = v
+	m.tail++
+	if m.tail == len(m.idx) {
+		m.tail = 0
+	}
+}
+
+func (m *MovingExtremum) popBack() {
+	m.tail--
+	if m.tail < 0 {
+		m.tail = len(m.idx) - 1
+	}
+}
+
+func (m *MovingExtremum) popFront() {
+	m.head++
+	if m.head == len(m.idx) {
+		m.head = 0
+	}
+}
+
+func (m *MovingExtremum) back() (int64, float64) {
+	t := m.tail - 1
+	if t < 0 {
+		t = len(m.idx) - 1
+	}
+	return m.idx[t], m.val[t]
+}
+
+// Process pushes x and returns the extremum of the last min(count, w)
+// samples.
+func (m *MovingExtremum) Process(x float64) float64 {
+	i := m.count
+	m.count++
+	// Drop dominated candidates from the back.
+	for !m.empty() {
+		_, v := m.back()
+		if (m.isMin && v >= x) || (!m.isMin && v <= x) {
+			m.popBack()
+		} else {
+			break
+		}
+	}
+	m.pushBack(i, x)
+	// Expire the front if it fell out of the window.
+	if m.idx[m.head] <= i-int64(m.w) {
+		m.popFront()
+	}
+	return m.val[m.head]
+}
+
+// Reset clears the window.
+func (m *MovingExtremum) Reset() {
+	m.head, m.tail, m.count = 0, 0, 0
+}
+
+// ProcessBlock applies the sliding extremum to a block.
+func (m *MovingExtremum) ProcessBlock(in, out []float64) []float64 {
+	if out == nil || len(out) < len(in) {
+		out = make([]float64, len(in))
+	}
+	out = out[:len(in)]
+	for i, x := range in {
+		out[i] = m.Process(x)
+	}
+	return out
+}
+
+// NaiveMovingExtremum recomputes the window extremum by rescanning the full
+// window on every sample. It exists solely as the baseline for the
+// moving-min/max ablation benchmark; the profiler never uses it.
+type NaiveMovingExtremum struct {
+	w     int
+	isMin bool
+	buf   []float64
+	pos   int
+	n     int
+}
+
+// NewNaiveMovingMin returns the O(w)-per-sample baseline minimum.
+func NewNaiveMovingMin(w int) *NaiveMovingExtremum {
+	return &NaiveMovingExtremum{w: w, isMin: true, buf: make([]float64, w)}
+}
+
+// NewNaiveMovingMax returns the O(w)-per-sample baseline maximum.
+func NewNaiveMovingMax(w int) *NaiveMovingExtremum {
+	return &NaiveMovingExtremum{w: w, isMin: false, buf: make([]float64, w)}
+}
+
+// Process pushes x and rescans the whole window.
+func (m *NaiveMovingExtremum) Process(x float64) float64 {
+	m.buf[m.pos] = x
+	m.pos++
+	if m.pos == m.w {
+		m.pos = 0
+	}
+	if m.n < m.w {
+		m.n++
+	}
+	// Scan the n valid entries.
+	best := x
+	seen := 0
+	for i := 0; i < m.w && seen < m.n; i++ {
+		v := m.buf[i]
+		if i >= m.n && m.n < m.w {
+			break
+		}
+		seen++
+		if m.isMin && v < best {
+			best = v
+		}
+		if !m.isMin && v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,112 @@
+package dsp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingMinBasic(t *testing.T) {
+	m := NewMovingMin(3)
+	in := []float64{5, 3, 4, 1, 6, 7, 8}
+	want := []float64{5, 3, 3, 1, 1, 1, 6}
+	for i, x := range in {
+		if y := m.Process(x); y != want[i] {
+			t.Fatalf("sample %d: got %v, want %v", i, y, want[i])
+		}
+	}
+}
+
+func TestMovingMaxBasic(t *testing.T) {
+	m := NewMovingMax(2)
+	in := []float64{1, 3, 2, 0, -1}
+	want := []float64{1, 3, 3, 2, 0}
+	for i, x := range in {
+		if y := m.Process(x); y != want[i] {
+			t.Fatalf("sample %d: got %v, want %v", i, y, want[i])
+		}
+	}
+}
+
+// TestMovingExtremumMatchesNaive is the central correctness property: the
+// monotonic-deque implementation must agree with the O(w) rescan baseline
+// on arbitrary inputs and window sizes.
+func TestMovingExtremumMatchesNaive(t *testing.T) {
+	f := func(seed int64, wRaw uint8, isMin bool) bool {
+		w := int(wRaw%32) + 1
+		var fast *MovingExtremum
+		var slow *NaiveMovingExtremum
+		if isMin {
+			fast, slow = NewMovingMin(w), NewNaiveMovingMin(w)
+		} else {
+			fast, slow = NewMovingMax(w), NewNaiveMovingMax(w)
+		}
+		s := uint64(seed)
+		for i := 0; i < 300; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			x := float64(int32(s >> 33))
+			if fast.Process(x) != slow.Process(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingExtremumWindowExpiry(t *testing.T) {
+	m := NewMovingMin(2)
+	m.Process(1) // window {1}
+	m.Process(5) // window {1,5} -> 1
+	// 1 must expire now.
+	if y := m.Process(7); y != 5 {
+		t.Fatalf("got %v, want 5 after expiry", y)
+	}
+}
+
+func TestMovingExtremumReset(t *testing.T) {
+	m := NewMovingMax(4)
+	m.Process(100)
+	m.Reset()
+	if y := m.Process(3); y != 3 {
+		t.Fatalf("after reset got %v, want 3", y)
+	}
+}
+
+func TestMovingExtremumMonotoneInput(t *testing.T) {
+	// Strictly increasing input: min lags by w-1 samples, max tracks.
+	const w = 5
+	min, max := NewMovingMin(w), NewMovingMax(w)
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		gotMin, gotMax := min.Process(x), max.Process(x)
+		wantMin := x - (w - 1)
+		if wantMin < 0 {
+			wantMin = 0
+		}
+		if gotMin != wantMin || gotMax != x {
+			t.Fatalf("i=%d: min=%v (want %v) max=%v (want %v)", i, gotMin, wantMin, gotMax, x)
+		}
+	}
+}
+
+func TestMovingExtremumPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for window 0")
+		}
+	}()
+	NewMovingMin(0)
+}
+
+func TestProcessBlock(t *testing.T) {
+	m := NewMovingMin(2)
+	out := m.ProcessBlock([]float64{3, 1, 2, 0}, nil)
+	want := []float64{3, 1, 1, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("block output %v, want %v", out, want)
+		}
+	}
+}

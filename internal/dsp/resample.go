@@ -1,0 +1,97 @@
+package dsp
+
+import "fmt"
+
+// Decimator band-limits and downsamples a stream by an integer factor. The
+// receiver model uses it to go from the per-cycle activity rate (= the
+// processor clock) down to the measurement sample rate implied by the
+// configured bandwidth.
+type Decimator struct {
+	factor int
+	filter *FIR
+	phase  int
+}
+
+// NewDecimator returns a decimator by factor with an anti-aliasing lowpass
+// whose cutoff sits at 80% of the post-decimation Nyquist frequency. A tap
+// count of 8*factor+1 gives a transition band narrow enough that aliased
+// energy is negligible for the factors used here (6..50).
+func NewDecimator(factor int) *Decimator {
+	if factor < 1 {
+		panic(fmt.Sprintf("dsp: decimation factor %d < 1", factor))
+	}
+	var f *FIR
+	if factor > 1 {
+		cutoff := 0.8 * 0.5 / float64(factor)
+		taps := 8*factor + 1
+		f = LowpassFIR(cutoff, taps)
+	}
+	return &Decimator{factor: factor, filter: f}
+}
+
+// Factor returns the decimation factor.
+func (d *Decimator) Factor() int { return d.factor }
+
+// Process pushes one input sample; it returns (y, true) when an output
+// sample is produced (every factor-th input) and (0, false) otherwise.
+func (d *Decimator) Process(x float64) (float64, bool) {
+	y := x
+	if d.filter != nil {
+		y = d.filter.Process(x)
+	}
+	d.phase++
+	if d.phase == d.factor {
+		d.phase = 0
+		return y, true
+	}
+	return 0, false
+}
+
+// ProcessBlock decimates a whole block, appending outputs to out and
+// returning it.
+func (d *Decimator) ProcessBlock(in []float64, out []float64) []float64 {
+	for _, x := range in {
+		if y, ok := d.Process(x); ok {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// Reset clears filter state and phase.
+func (d *Decimator) Reset() {
+	if d.filter != nil {
+		d.filter.Reset()
+	}
+	d.phase = 0
+}
+
+// LinearResample resamples x from srcRate to dstRate by linear
+// interpolation. It is used for display-style series (e.g. aligning the
+// simulator power proxy with the receiver signal in the Fig. 8 comparison),
+// not in the detection path.
+func LinearResample(x []float64, srcRate, dstRate float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	if srcRate <= 0 || dstRate <= 0 {
+		panic("dsp: resample rates must be positive")
+	}
+	n := int(float64(len(x)) * dstRate / srcRate)
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	ratio := srcRate / dstRate
+	for i := range out {
+		t := float64(i) * ratio
+		j := int(t)
+		if j >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := t - float64(j)
+		out[i] = x[j]*(1-frac) + x[j+1]*frac
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDecimatorFactorOne(t *testing.T) {
+	d := NewDecimator(1)
+	for i := 0; i < 5; i++ {
+		y, ok := d.Process(float64(i))
+		if !ok || y != float64(i) {
+			t.Fatalf("factor-1 decimator must pass through; got (%v,%v)", y, ok)
+		}
+	}
+}
+
+func TestDecimatorOutputRate(t *testing.T) {
+	d := NewDecimator(4)
+	outs := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := d.Process(1); ok {
+			outs++
+		}
+	}
+	if outs != 25 {
+		t.Fatalf("got %d outputs for 100 inputs at factor 4, want 25", outs)
+	}
+}
+
+func TestDecimatorDCPreserved(t *testing.T) {
+	d := NewDecimator(8)
+	var last float64
+	for i := 0; i < 1000; i++ {
+		if y, ok := d.Process(2.5); ok {
+			last = y
+		}
+	}
+	if math.Abs(last-2.5) > 1e-9 {
+		t.Fatalf("DC level %v, want 2.5", last)
+	}
+}
+
+func TestDecimatorSuppressesAlias(t *testing.T) {
+	// A tone just below the input Nyquist would alias into the output band;
+	// the anti-aliasing filter must suppress it.
+	const factor = 5
+	d := NewDecimator(factor)
+	var sumSq float64
+	n := 0
+	for i := 0; i < 5000; i++ {
+		x := math.Sin(2 * math.Pi * 0.45 * float64(i))
+		if y, ok := d.Process(x); ok {
+			if n > 50 {
+				sumSq += y * y
+			}
+			n++
+		}
+	}
+	rms := math.Sqrt(sumSq / float64(n-51))
+	if rms > 0.02 {
+		t.Fatalf("aliased tone RMS %v, want < 0.02", rms)
+	}
+}
+
+func TestDecimatorPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for factor 0")
+		}
+	}()
+	NewDecimator(0)
+}
+
+func TestDecimatorBlockAndReset(t *testing.T) {
+	d := NewDecimator(2)
+	out := d.ProcessBlock([]float64{1, 1, 1, 1, 1, 1}, nil)
+	if len(out) != 3 {
+		t.Fatalf("block produced %d outputs, want 3", len(out))
+	}
+	d.Reset()
+	out2 := d.ProcessBlock([]float64{1, 1}, nil)
+	if len(out2) != 1 {
+		t.Fatalf("after reset block produced %d outputs, want 1", len(out2))
+	}
+}
+
+func TestLinearResampleIdentity(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := LinearResample(x, 100, 100)
+	if len(y) != 4 {
+		t.Fatalf("length %d, want 4", len(y))
+	}
+	for i := range x {
+		if !almostEqual(y[i], x[i], 1e-12) {
+			t.Fatalf("identity resample mismatch at %d: %v", i, y[i])
+		}
+	}
+}
+
+func TestLinearResampleUpsampleInterpolates(t *testing.T) {
+	x := []float64{0, 2}
+	y := LinearResample(x, 1, 2)
+	// 4 output samples at positions 0, 0.5, 1.0, 1.5 of the input.
+	if len(y) != 4 {
+		t.Fatalf("length %d, want 4", len(y))
+	}
+	want := []float64{0, 1, 2, 2}
+	for i := range want {
+		if !almostEqual(y[i], want[i], 1e-12) {
+			t.Fatalf("upsample %v, want %v", y, want)
+		}
+	}
+}
+
+func TestLinearResampleDownsampleLength(t *testing.T) {
+	x := make([]float64, 100)
+	y := LinearResample(x, 100, 25)
+	if len(y) != 25 {
+		t.Fatalf("length %d, want 25", len(y))
+	}
+	if out := LinearResample(nil, 10, 5); out != nil {
+		t.Fatalf("resampling empty input should be nil, got %v", out)
+	}
+}

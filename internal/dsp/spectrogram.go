@@ -1,0 +1,108 @@
+package dsp
+
+import "math"
+
+// Spectrogram is a short-time power spectrum of a real signal: Frames[t][k]
+// is the power in frequency bin k during frame t. It is the input to the
+// Spectral Profiling-style code attribution (paper Section VI-D, Fig. 14).
+type Spectrogram struct {
+	// Frames holds one power spectrum per hop.
+	Frames [][]float64
+	// SampleRate is the rate of the analysed signal in Hz.
+	SampleRate float64
+	// FrameLen and Hop are in samples of the analysed signal.
+	FrameLen int
+	Hop      int
+}
+
+// STFT computes a spectrogram with Hann-windowed frames of frameLen
+// samples, advancing hop samples per frame.
+func STFT(x []float64, sampleRate float64, frameLen, hop int) *Spectrogram {
+	if frameLen <= 0 || hop <= 0 {
+		panic("dsp: STFT frame and hop must be positive")
+	}
+	w := Hann(frameLen)
+	var frames [][]float64
+	for start := 0; start+frameLen <= len(x); start += hop {
+		frames = append(frames, PowerSpectrum(x[start:start+frameLen], w))
+	}
+	return &Spectrogram{
+		Frames:     frames,
+		SampleRate: sampleRate,
+		FrameLen:   frameLen,
+		Hop:        hop,
+	}
+}
+
+// NumFrames returns the number of time frames.
+func (s *Spectrogram) NumFrames() int { return len(s.Frames) }
+
+// FrameTime returns the time in seconds of the centre of frame t.
+func (s *Spectrogram) FrameTime(t int) float64 {
+	return (float64(t*s.Hop) + float64(s.FrameLen)/2) / s.SampleRate
+}
+
+// BinFrequency returns the frequency in Hz of bin k.
+func (s *Spectrogram) BinFrequency(k int) float64 {
+	n := NextPow2(s.FrameLen)
+	return float64(k) * s.SampleRate / float64(n)
+}
+
+// NormalizeFrames scales each frame to unit total power so that spectral
+// matching compares shape rather than level (level varies with probe gain
+// and supply voltage, which is exactly what must be factored out).
+func (s *Spectrogram) NormalizeFrames() {
+	for _, f := range s.Frames {
+		sum := 0.0
+		for _, v := range f {
+			sum += v
+		}
+		if sum <= 0 {
+			continue
+		}
+		inv := 1 / sum
+		for i := range f {
+			f[i] *= inv
+		}
+	}
+}
+
+// SpectralDistance returns the Hellinger distance between two equal-length
+// non-negative spectra: the Euclidean distance between their element-wise
+// square roots. On frame-normalised spectra it is bounded, insensitive to
+// the near-empty bins that dominate log-spectral measures, and driven by
+// where the energy actually sits — which is what distinguishes two loops'
+// signatures.
+func SpectralDistance(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := math.Sqrt(math.Abs(a[i])) - math.Sqrt(math.Abs(b[i]))
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// MeanSpectrum averages a set of spectra element-wise. Used to build
+// per-region training signatures.
+func MeanSpectrum(frames [][]float64) []float64 {
+	if len(frames) == 0 {
+		return nil
+	}
+	out := make([]float64, len(frames[0]))
+	for _, f := range frames {
+		for i := range out {
+			if i < len(f) {
+				out[i] += f[i]
+			}
+		}
+	}
+	inv := 1 / float64(len(frames))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package em
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// captureMagic identifies the capture file format: a fixed header followed
+// by little-endian float64 samples.
+const captureMagic = "EMPROFCAP1"
+
+// WriteCapture serialises a capture.
+func WriteCapture(w io.Writer, c *Capture) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(captureMagic); err != nil {
+		return err
+	}
+	for _, v := range []float64{c.SampleRate, c.ClockHz} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(c.Samples))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range c.Samples {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCapture deserialises a capture written by WriteCapture.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(captureMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("em: reading capture header: %w", err)
+	}
+	if string(magic) != captureMagic {
+		return nil, fmt.Errorf("em: not a capture file (magic %q)", magic)
+	}
+	var c Capture
+	if err := binary.Read(br, binary.LittleEndian, &c.SampleRate); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &c.ClockHz); err != nil {
+		return nil, err
+	}
+	var n int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<34 {
+		return nil, fmt.Errorf("em: implausible sample count %d", n)
+	}
+	if c.SampleRate <= 0 || c.ClockHz <= 0 {
+		return nil, fmt.Errorf("em: invalid capture metadata rate=%v clock=%v", c.SampleRate, c.ClockHz)
+	}
+	c.Samples = make([]float64, n)
+	buf := make([]byte, 8)
+	for i := range c.Samples {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("em: truncated capture at sample %d: %w", i, err)
+		}
+		c.Samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return &c, nil
+}
+
+// SaveCapture writes a capture to a file.
+func SaveCapture(path string, c *Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCapture(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCapture reads a capture from a file.
+func LoadCapture(path string) (*Capture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCapture(f)
+}

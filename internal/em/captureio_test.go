@@ -1,0 +1,85 @@
+package em
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	orig := &Capture{
+		Samples:    []float64{0, 1.5, -2.25, 3.125, 1e-9},
+		SampleRate: 40e6,
+		ClockHz:    1.008e9,
+	}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleRate != orig.SampleRate || got.ClockHz != orig.ClockHz {
+		t.Fatalf("metadata %v/%v", got.SampleRate, got.ClockHz)
+	}
+	if len(got.Samples) != len(orig.Samples) {
+		t.Fatalf("sample count %d", len(got.Samples))
+	}
+	for i := range orig.Samples {
+		if got.Samples[i] != orig.Samples[i] {
+			t.Fatalf("sample %d: %v != %v", i, got.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestCaptureFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.cap")
+	orig := &Capture{Samples: make([]float64, 1000), SampleRate: 50e6, ClockHz: 1e9}
+	for i := range orig.Samples {
+		orig.Samples[i] = float64(i) * 0.001
+	}
+	if err := SaveCapture(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 1000 || got.Samples[999] != 0.999 {
+		t.Fatal("file round trip corrupted data")
+	}
+}
+
+func TestReadCaptureRejectsGarbage(t *testing.T) {
+	if _, err := ReadCapture(strings.NewReader("not a capture file at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadCapture(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadCaptureRejectsTruncated(t *testing.T) {
+	orig := &Capture{Samples: make([]float64, 100), SampleRate: 50e6, ClockHz: 1e9}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-13]
+	if _, err := ReadCapture(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated capture accepted")
+	}
+}
+
+func TestReadCaptureRejectsBadMetadata(t *testing.T) {
+	bad := &Capture{Samples: []float64{1}, SampleRate: 0, ClockHz: 1e9}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCapture(&buf); err == nil {
+		t.Fatal("zero sample rate accepted on read")
+	}
+}

@@ -1,0 +1,256 @@
+// Package em synthesizes the electromagnetic side-channel signal a
+// near-field probe + receiver would acquire from the simulated device, and
+// models the acquisition path of the paper's setup (magnetic probe into a
+// spectrum analyzer / software-defined receiver tuned to the processor
+// clock frequency with a selectable measurement bandwidth).
+//
+// The physical signal is the processor's switching activity amplitude-
+// modulated onto the clock carrier and its harmonics; the receiver
+// downconverts a band of width B around the carrier and records the
+// complex baseband, whose magnitude tracks switching activity. Simulating
+// the GHz carrier explicitly is pointless — the receiver output depends
+// only on the band-limited activity envelope — so the chain here operates
+// directly at baseband:
+//
+//	per-cycle activity → integrate-and-dump to the receiver rate (the
+//	band-limited front end) → resolution-bandwidth smoothing FIR →
+//	probe gain × supply drift × (envelope + complex AWGN) → magnitude.
+//
+// Everything EMPROF's normalisation stage must cope with on real hardware
+// is reproduced: unknown multiplicative probe coupling, slow power-supply
+// drift, a noise floor, and finite bandwidth that smears short stalls.
+package em
+
+import (
+	"fmt"
+	"math"
+
+	"emprof/internal/dsp"
+	"emprof/internal/sim"
+)
+
+// Capture is an acquired magnitude trace plus the metadata EMPROF needs to
+// convert sample indices into cycles and seconds.
+type Capture struct {
+	// Samples is the received signal magnitude.
+	Samples []float64
+	// SampleRate is the receiver output rate in Hz (≈ the measurement
+	// bandwidth).
+	SampleRate float64
+	// ClockHz is the profiled processor's clock frequency. EMPROF
+	// multiplies detected stall durations by it to report cycles, exactly
+	// as in the paper's Section III-A.
+	ClockHz float64
+}
+
+// Duration returns the capture length in seconds.
+func (c *Capture) Duration() float64 {
+	if c.SampleRate <= 0 {
+		return 0
+	}
+	return float64(len(c.Samples)) / c.SampleRate
+}
+
+// CyclesPerSample returns the number of processor cycles each sample
+// spans.
+func (c *Capture) CyclesPerSample() float64 {
+	return c.ClockHz / c.SampleRate
+}
+
+// Slice returns a sub-capture covering sample indices [lo, hi).
+func (c *Capture) Slice(lo, hi int) *Capture {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(c.Samples) {
+		hi = len(c.Samples)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Capture{Samples: c.Samples[lo:hi], SampleRate: c.SampleRate, ClockHz: c.ClockHz}
+}
+
+// ReceiverConfig parameterises the acquisition chain.
+type ReceiverConfig struct {
+	// ClockHz is the device clock (input rate of the per-cycle stream).
+	ClockHz float64
+	// BandwidthHz is the measurement bandwidth; the output sample rate is
+	// ClockHz / round(ClockHz/BandwidthHz), i.e. as close to BandwidthHz
+	// as an integer decimation allows.
+	BandwidthHz float64
+	// ProbeGain is the multiplicative probe-coupling factor.
+	ProbeGain float64
+	// SNRdB sets the complex AWGN level relative to a unit-amplitude
+	// envelope. +Inf disables noise (the SESC power-proxy path).
+	SNRdB float64
+	// DriftPeriodS / DriftDepth model slow supply-voltage variation as a
+	// sinusoidal gain term.
+	DriftPeriodS float64
+	DriftDepth   float64
+	// Seed drives the noise generator.
+	Seed uint64
+}
+
+// Validate checks the receiver configuration.
+func (c ReceiverConfig) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("em: clock %v <= 0", c.ClockHz)
+	}
+	if c.BandwidthHz <= 0 || c.BandwidthHz > c.ClockHz {
+		return fmt.Errorf("em: bandwidth %v out of (0, clock]", c.BandwidthHz)
+	}
+	if c.ProbeGain <= 0 {
+		return fmt.Errorf("em: probe gain %v <= 0", c.ProbeGain)
+	}
+	if c.DriftDepth < 0 || c.DriftDepth >= 1 {
+		return fmt.Errorf("em: drift depth %v out of [0,1)", c.DriftDepth)
+	}
+	if c.DriftDepth > 0 && c.DriftPeriodS <= 0 {
+		return fmt.Errorf("em: drift depth set with non-positive period")
+	}
+	return nil
+}
+
+// Receiver is a streaming acquisition chain; it implements power.Sink so
+// the processor model can feed it directly, cycle by cycle, without ever
+// materialising a per-cycle trace.
+type Receiver struct {
+	cfg        ReceiverConfig
+	decim      int
+	sampleRate float64
+
+	// integrate-and-dump state
+	acc float64
+	n   int
+
+	// RBW smoothing filter at the output rate.
+	rbw *dsp.FIR
+
+	rng      *sim.RNG
+	noiseSig float64
+	driftW   float64 // radians per output sample
+	phase    float64
+
+	samples []float64
+}
+
+// NewReceiver builds a receiver; returns an error on invalid config.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := int(math.Round(cfg.ClockHz / cfg.BandwidthHz))
+	if d < 1 {
+		d = 1
+	}
+	sampleRate := cfg.ClockHz / float64(d)
+	r := &Receiver{
+		cfg:        cfg,
+		decim:      d,
+		sampleRate: sampleRate,
+		rng:        sim.NewRNG(cfg.Seed ^ 0x5ca1ab1e),
+	}
+	if d > 1 {
+		// Short resolution-bandwidth filter: smooths dump boundaries
+		// without meaningfully widening the response.
+		r.rbw = dsp.LowpassFIR(0.4, 9)
+	}
+	if !math.IsInf(cfg.SNRdB, 1) {
+		r.noiseSig = math.Pow(10, -cfg.SNRdB/20)
+	}
+	if cfg.DriftDepth > 0 {
+		r.driftW = 2 * math.Pi / (cfg.DriftPeriodS * sampleRate)
+	}
+	return r, nil
+}
+
+// MustNewReceiver is NewReceiver but panics on configuration errors.
+func MustNewReceiver(cfg ReceiverConfig) *Receiver {
+	r, err := NewReceiver(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SampleRate returns the actual output rate in Hz.
+func (r *Receiver) SampleRate() float64 { return r.sampleRate }
+
+// DecimationFactor returns cycles per output sample.
+func (r *Receiver) DecimationFactor() int { return r.decim }
+
+// PushCycle implements power.Sink: p is the switching activity (power) of
+// one clock cycle.
+func (r *Receiver) PushCycle(p float64) {
+	r.acc += p
+	r.n++
+	if r.n == r.decim {
+		r.emit(r.acc / float64(r.n))
+		r.acc, r.n = 0, 0
+	}
+}
+
+// Flush emits any partial final integration window.
+func (r *Receiver) Flush() {
+	if r.n > 0 {
+		r.emit(r.acc / float64(r.n))
+		r.acc, r.n = 0, 0
+	}
+}
+
+// emit applies RBW smoothing and the acquisition impairments to one
+// envelope sample, then records the received magnitude.
+func (r *Receiver) emit(env float64) {
+	if r.rbw != nil {
+		env = r.rbw.Process(env)
+	}
+	gain := r.cfg.ProbeGain
+	if r.driftW > 0 {
+		gain *= 1 + r.cfg.DriftDepth*math.Sin(r.phase)
+		r.phase += r.driftW
+		if r.phase > 2*math.Pi {
+			r.phase -= 2 * math.Pi
+		}
+	}
+	mag := gain * env
+	if r.noiseSig > 0 {
+		// Complex AWGN on the baseband: the recorded magnitude is
+		// |A + n_I + j n_Q|, which yields the Rician noise floor real
+		// captures show during stalls.
+		i := mag + gain*r.noiseSig*r.rng.NormFloat64()
+		q := gain * r.noiseSig * r.rng.NormFloat64()
+		mag = math.Hypot(i, q)
+	}
+	r.samples = append(r.samples, mag)
+}
+
+// Capture returns the received signal acquired so far.
+func (r *Receiver) Capture() *Capture {
+	return &Capture{
+		Samples:    r.samples,
+		SampleRate: r.sampleRate,
+		ClockHz:    r.cfg.ClockHz,
+	}
+}
+
+// SynthesizeFromSeries runs a pre-computed activity series (one value per
+// cyclesPerValue cycles) through an identical impairment chain. It is used
+// for the memory-probe signal, which is rasterised from the DRAM burst
+// trace rather than streamed per cycle.
+func SynthesizeFromSeries(series []float64, cyclesPerValue int, cfg ReceiverConfig) (*Capture, error) {
+	if cyclesPerValue <= 0 {
+		return nil, fmt.Errorf("em: cyclesPerValue %d <= 0", cyclesPerValue)
+	}
+	r, err := NewReceiver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range series {
+		for c := 0; c < cyclesPerValue; c++ {
+			r.PushCycle(v)
+		}
+	}
+	r.Flush()
+	return r.Capture(), nil
+}

@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps experiment smoke tests fast.
+func quickOpts() Options {
+	return Options{Scale: 0.25, Seed: 1, Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "perf", "stability",
+	}
+	names := Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+	if len(names) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(names), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table99", quickOpts(), &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	res, err := RunTable2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("quick grid rows %d, want 2", len(res.Rows))
+	}
+	// The headline claim: high counting accuracy on every device.
+	if res.AveragePct < 95 {
+		t.Fatalf("average accuracy %.2f%%, want >= 95%% (paper: 99.52%%)", res.AveragePct)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "average accuracy") {
+		t.Fatal("render missing summary")
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	res, err := RunTable3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Micro {
+		if r.MissPct < 95 {
+			t.Errorf("micro %s miss accuracy %.1f%%, want >= 95%%", r.Name, r.MissPct)
+		}
+		if r.StallPct < 90 {
+			t.Errorf("micro %s stall accuracy %.1f%%, want >= 90%%", r.Name, r.StallPct)
+		}
+	}
+	for _, r := range res.SPEC {
+		if r.MissPct < 85 {
+			t.Errorf("SPEC %s miss accuracy %.1f%%, want >= 85%% (paper >= 93.2%%)", r.Name, r.MissPct)
+		}
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	res, err := RunTable4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Micro rows: detected counts close to TM on every device.
+	for i, r := range res.Micro {
+		tm := quickOpts().microGrid()[i].TM
+		for d := 0; d < 3; d++ {
+			if r.Misses[d] < tm*9/10 || r.Misses[d] > tm*11/10 {
+				t.Errorf("%s on %s: %d misses, want ~%d", r.Name, res.Devices[d], r.Misses[d], tm)
+			}
+		}
+	}
+	// Olimex (highest clock, no prefetcher, slow DRAM) must show the
+	// highest average stall percentage — the paper's headline ordering.
+	if !(res.Average.LatencyPct[2] > res.Average.LatencyPct[0] &&
+		res.Average.LatencyPct[2] > res.Average.LatencyPct[1]) {
+		t.Errorf("Olimex stall%% %.2f not highest (%v)", res.Average.LatencyPct[2], res.Average.LatencyPct)
+	}
+}
+
+func TestPerfBaselineQuick(t *testing.T) {
+	res, err := RunPerfBaseline(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean < 5*float64(res.TrueMisses) {
+		t.Fatalf("perf mean %v vs true %d: overcount too small", res.Mean, res.TrueMisses)
+	}
+	if res.StdDev <= 0 {
+		t.Fatal("perf stddev must be positive")
+	}
+	if res.MechanisticReported <= res.MechanisticTrue {
+		t.Fatal("handler injection must inflate counted misses")
+	}
+	if res.Dilation <= 1 {
+		t.Fatal("profiling must dilate execution time")
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	res, err := RunFig3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroupMissesPerStall < 1.5 {
+		t.Fatalf("misses per stall %.2f: MLP hiding not demonstrated", res.GroupMissesPerStall)
+	}
+	if res.DualStalls >= res.DualMisses {
+		t.Fatalf("dual-miss kernel: %d stalls for %d misses, want fewer stalls", res.DualStalls, res.DualMisses)
+	}
+	if res.OverlapFraction < 0.5 {
+		t.Fatalf("only %.0f%% of dual stalls overlapped", 100*res.OverlapFraction)
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	res, err := RunFig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefreshStalls == 0 {
+		t.Fatal("no refresh-coincident stalls detected")
+	}
+	if res.AvgRefreshNS < 1500 || res.AvgRefreshNS > 4000 {
+		t.Fatalf("refresh stall %v ns, want 2000-3000 (paper: 2-3 µs)", res.AvgRefreshNS)
+	}
+	if res.AvgNormalNS > 600 {
+		t.Fatalf("normal stall %v ns, want a few hundred (paper: ~300)", res.AvgNormalNS)
+	}
+	if res.MeanRefreshSpacingUS < 40 || res.MeanRefreshSpacingUS > 160 {
+		t.Fatalf("refresh spacing %v µs, want ~70 (paper Fig. 5)", res.MeanRefreshSpacingUS)
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	res, err := RunFig12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("quick sweep rows %d, want 2", len(res.Rows))
+	}
+	low, high := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// At 20 MHz the Alcatel (fast, short stalls) detects far fewer stalls
+	// than at 60 MHz, and the ones it sees are the very long ones.
+	if low.Detected[0] >= high.Detected[0] {
+		t.Errorf("Alcatel detections %d@20MHz vs %d@60MHz: low bandwidth should miss stalls",
+			low.Detected[0], high.Detected[0])
+	}
+	if low.Detected[0] > 0 && low.AvgLat[0] < high.AvgLat[0] {
+		t.Errorf("Alcatel 20MHz avg latency %v below 60MHz %v: only long stalls should survive",
+			low.AvgLat[0], high.AvgLat[0])
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	res, err := RunFig13(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Run1) < 4 || len(res.Run2) < 4 {
+		t.Fatal("boot series too short")
+	}
+	if res.Correlation < 0.3 {
+		t.Fatalf("boot-to-boot correlation %.2f: coarse structure should repeat", res.Correlation)
+	}
+}
+
+func TestSignalFigureExperiments(t *testing.T) {
+	for _, name := range []string{"fig1", "fig2", "fig4"} {
+		var buf bytes.Buffer
+		if err := Run(name, quickOpts(), &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}
+
+func TestFig7And8AndFig10(t *testing.T) {
+	f7, err := RunFig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A CM group's dips must be individually visible (paper Fig. 7b).
+	if f7.GroupStalls < f7.CM-2 || f7.GroupStalls > f7.CM+2 {
+		t.Errorf("group stalls %d, want ~CM=%d", f7.GroupStalls, f7.CM)
+	}
+
+	f8, err := RunFig8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulator proxy and device EM signal must agree on the count.
+	if f8.SimStalls < f8.TM*9/10 || f8.DevStalls < f8.TM*9/10 {
+		t.Errorf("fig8 counts sim=%d dev=%d, want ~%d in both", f8.SimStalls, f8.DevStalls, f8.TM)
+	}
+
+	f10, err := RunFig10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f10.CoincidenceFraction < 0.9 {
+		t.Errorf("only %.0f%% of stalls coincide with memory activity", 100*f10.CoincidenceFraction)
+	}
+	if f10.StallActivity <= f10.BaselineActivity {
+		t.Error("memory activity inside stalls must exceed baseline")
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	res, err := RunFig11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hists) != 3 {
+		t.Fatalf("histograms %d, want 3", len(res.Hists))
+	}
+	for i, h := range res.Hists {
+		if h.Total() == 0 {
+			t.Errorf("%s histogram empty", res.Devices[i])
+		}
+	}
+}
+
+func TestSparklineAndDownsample(t *testing.T) {
+	if s := sparkline([]float64{0, 1, 2, 3}); len([]rune(s)) != 4 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if s := sparkline(nil); s != "" {
+		t.Fatal("empty sparkline")
+	}
+	d := downsample(make([]float64, 1000), 10)
+	if len(d) != 10 {
+		t.Fatalf("downsample length %d", len(d))
+	}
+}
+
+func TestFig2HitMissContrast(t *testing.T) {
+	res, err := RunFig2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, miss := res.Series["llc-hit"], res.Series["llc-miss"]
+	if len(hit) == 0 || len(miss) == 0 {
+		t.Fatal("series missing")
+	}
+	// The miss kernel's signal must dip far lower (relative to its own
+	// busy level) than the hit kernel's.
+	rng := func(xs []float64) float64 {
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		if max == 0 {
+			return 0
+		}
+		return (max - min) / max
+	}
+	if rng(miss) < 0.4 {
+		t.Fatalf("miss kernel relative range %.2f, want deep dips", rng(miss))
+	}
+}
+
+func TestFig1MeasuresDeltaT(t *testing.T) {
+	res, err := RunFig1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stalls) != 1 {
+		t.Fatalf("fig1 should isolate one stall, got %d", len(res.Stalls))
+	}
+	s := res.Stalls[0]
+	// Δt × clock must land in the plausible LLC-miss band for the Olimex
+	// model (row-hit to refresh-free row-miss latency plus drain).
+	if s.Cycles < 80 || s.Cycles > 800 {
+		t.Fatalf("stall of %.0f cycles outside the LLC-miss band", s.Cycles)
+	}
+	if len(res.Series["magnitude"]) == 0 || len(res.Series["movavg"]) == 0 {
+		t.Fatal("fig1 series missing")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	res, err := RunTable5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 3 {
+		t.Fatalf("regions %d, want 3", len(res.Regions))
+	}
+	var batch, dict RegionRow
+	for _, r := range res.Regions {
+		switch r.Function {
+		case "batch_process":
+			batch = r
+		case "read_dictionary":
+			dict = r
+		}
+	}
+	if batch.Function == "" || dict.Function == "" {
+		t.Fatalf("missing functions in %+v", res.Regions)
+	}
+	// The paper's Table V conclusion: batch_process dominates misses and
+	// stall share.
+	if batch.TotalMiss <= dict.TotalMiss {
+		t.Fatalf("batch misses %d not above read_dictionary %d", batch.TotalMiss, dict.TotalMiss)
+	}
+	if batch.StallPct <= dict.StallPct {
+		t.Fatalf("batch stall%% %.2f not above read_dictionary %.2f", batch.StallPct, dict.StallPct)
+	}
+}
+
+func TestStabilityQuick(t *testing.T) {
+	res, err := RunStability(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EMPROF must be near the truth and far tighter than perf.
+	if res.EMProf.Mean < float64(res.TrueMisses)*0.9 || res.EMProf.Mean > float64(res.TrueMisses)*1.1 {
+		t.Fatalf("EMPROF mean %.1f far from true %d", res.EMProf.Mean, res.TrueMisses)
+	}
+	relEM := res.EMProf.StdDev / res.EMProf.Mean
+	relPerf := res.Perf.StdDev / res.Perf.Mean
+	if relEM > relPerf/3 {
+		t.Fatalf("EMPROF rel-stddev %.3f not well below perf %.3f", relEM, relPerf)
+	}
+	if res.Perf.Mean < 3*float64(res.TrueMisses) {
+		t.Fatalf("perf mean %.0f should overcount", res.Perf.Mean)
+	}
+}

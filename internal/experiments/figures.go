@@ -1,0 +1,660 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"emprof"
+	"emprof/internal/core"
+	"emprof/internal/device"
+	"emprof/internal/dsp"
+	"emprof/internal/workloads"
+)
+
+// powerSpectrum is a small Hann-windowed spectrum helper for figure
+// summaries.
+func powerSpectrum(x []float64) []float64 {
+	return dsp.PowerSpectrum(x, dsp.Hann(len(x)))
+}
+
+// SignalFigure is a generic signal-shape figure result: one or two series
+// plus the stall events detected in them.
+type SignalFigure struct {
+	Title  string
+	Series map[string][]float64
+	// SampleRate of the series in Hz.
+	SampleRate float64
+	// Stalls are the EMPROF detections in the primary series.
+	Stalls []core.Stall
+	Notes  []string
+}
+
+// Render writes a text view: notes plus downsampled sparklines.
+func (f *SignalFigure) Render(w io.Writer) {
+	fmt.Fprintln(w, f.Title)
+	for name, s := range f.Series {
+		fmt.Fprintf(w, "  %-12s %s\n", name, sparkline(downsample(s, 100)))
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  - %s\n", n)
+	}
+}
+
+// RunFig1 reproduces Fig. 1: the magnitude of the EM signal across one
+// LLC-miss stall, with its moving average, and the measured Δt.
+func RunFig1(o Options) (*SignalFigure, error) {
+	o = o.withDefaults()
+	dev := device.Olimex()
+	wl, err := workloads.AccessKernel(workloads.DefaultAccessKernelParams(
+		workloads.MissLLC, dev.Mem.L1D.SizeBytes, dev.Mem.LLC.SizeBytes))
+	if err != nil {
+		return nil, err
+	}
+	run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	prof := analyze(run.Capture)
+	f := &SignalFigure{
+		Title:      "Fig. 1: EM magnitude across one LLC-miss stall (dashed: signal, solid: moving average)",
+		Series:     map[string][]float64{},
+		SampleRate: run.Capture.SampleRate,
+	}
+	if len(prof.Stalls) == 0 {
+		return nil, fmt.Errorf("experiments: fig1 found no stalls")
+	}
+	// Window around the first comfortable stall.
+	s := prof.Stalls[len(prof.Stalls)/2]
+	lo := s.StartSample - 60
+	hi := s.EndSample + 60
+	win := run.Capture.Slice(lo, hi)
+	ma := dsp.NewMovingAverage(9)
+	f.Series["magnitude"] = win.Samples
+	f.Series["movavg"] = ma.ProcessBlock(win.Samples, nil)
+	f.Stalls = []core.Stall{s}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("Δt = %.0f ns → %.0f stall cycles at %.3f GHz",
+			s.DurationS*1e9, s.Cycles, run.Device.CPU.ClockHz/1e9))
+	return f, nil
+}
+
+// RunFig2 reproduces Fig. 2: the simulator power signal for an LLC-hit
+// stall kernel versus an LLC-miss stall kernel.
+func RunFig2(o Options) (*SignalFigure, error) {
+	o = o.withDefaults()
+	dev := device.SESC()
+	f := &SignalFigure{
+		Title:  "Fig. 2: (a) LLC-hit stalls vs (b) LLC-miss stalls in the simulator power signal",
+		Series: map[string][]float64{},
+	}
+	for _, c := range []struct {
+		level workloads.MissLevel
+		name  string
+	}{{workloads.MissL1, "llc-hit"}, {workloads.MissLLC, "llc-miss"}} {
+		wl, err := workloads.AccessKernel(workloads.DefaultAccessKernelParams(
+			c.level, dev.Mem.L1D.SizeBytes, dev.Mem.LLC.SizeBytes))
+		if err != nil {
+			return nil, err
+		}
+		run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{
+			Seed: o.Seed, NoiseFree: true, BandwidthHz: 50e6, PowerProxy: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		slice, err := run.SliceRegion(workloads.RegionKernelAccess)
+		if err != nil {
+			return nil, err
+		}
+		f.SampleRate = slice.SampleRate
+		f.Series[c.name] = slice.Samples
+		prof := analyze(slice)
+		truth := mergedTruth(run)
+		f.Notes = append(f.Notes, fmt.Sprintf("%s: detected stalls=%d avg=%.0f cycles (ground-truth LLC misses=%d)",
+			c.name, len(prof.Stalls), prof.AvgStallCycles(), len(run.Truth.Misses)))
+		_ = truth
+	}
+	return f, nil
+}
+
+// Fig3Result quantifies the hidden/overlapped-miss behaviour of Fig. 3.
+type Fig3Result struct {
+	// Independent-load groups (Fig. 3a): many misses, fewer stalls.
+	GroupMisses, GroupStalls int
+	GroupStallCycles         uint64
+	GroupMissesPerStall      float64
+	// Dual I$+D$ misses (Fig. 3b): two overlapping misses, one stall.
+	DualMisses, DualStalls int
+	OverlapFraction        float64
+}
+
+// RunFig3 reproduces Fig. 3: (a) grouped independent misses whose early
+// members never stall the core individually and (b) overlapping
+// instruction+data misses reported as a single stall.
+func RunFig3(o Options) (*Fig3Result, error) {
+	o = o.withDefaults()
+	dev := device.SESC()
+
+	groups := 80
+	if o.Quick {
+		groups = 20
+	}
+	wl, err := workloads.OverlapKernel(workloads.OverlapKernelParams{
+		Groups: groups, GroupSize: 6, GapWork: 600,
+		LineBytes: 64, LLCBytes: dev.Mem.LLC.SizeBytes, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{Seed: o.Seed, NoiseFree: true, BandwidthHz: 50e6})
+	if err != nil {
+		return nil, err
+	}
+	truth := mergedTruth(run)
+	res := &Fig3Result{
+		GroupMisses:      len(run.Truth.Misses),
+		GroupStalls:      len(truth),
+		GroupStallCycles: run.Truth.FullStallCycles,
+	}
+	if res.GroupStalls > 0 {
+		res.GroupMissesPerStall = float64(res.GroupMisses) / float64(res.GroupStalls)
+	}
+
+	dual, err := workloads.DualMissKernel(groups, 600, 64, dev.Mem.LLC.SizeBytes)
+	if err != nil {
+		return nil, err
+	}
+	drun, err := emprof.Simulate(dev, dual, emprof.CaptureOptions{Seed: o.Seed, NoiseFree: true, BandwidthHz: 50e6})
+	if err != nil {
+		return nil, err
+	}
+	dtruth := mergedTruth(drun)
+	res.DualMisses = len(drun.Truth.Misses)
+	res.DualStalls = len(dtruth)
+	overl := 0
+	for _, s := range dtruth {
+		if s.Misses >= 2 {
+			overl++
+		}
+	}
+	if len(dtruth) > 0 {
+		res.OverlapFraction = float64(overl) / float64(len(dtruth))
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 3 summary.
+func (r *Fig3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 3: misses hidden by MLP and overlapping I$/D$ misses")
+	fmt.Fprintf(w, "  (a) grouped independent misses: %d LLC misses produced %d stall events (%.1f misses/stall);\n",
+		r.GroupMisses, r.GroupStalls, r.GroupMissesPerStall)
+	fmt.Fprintf(w, "      stall accounting still captures their cost: %d fully-stalled cycles\n", r.GroupStallCycles)
+	fmt.Fprintf(w, "  (b) dual I$+D$ misses: %d misses -> %d stalls; %.0f%% of stalls cover >=2 overlapped misses\n",
+		r.DualMisses, r.DualStalls, 100*r.OverlapFraction)
+}
+
+// RunFig4 reproduces Fig. 4: the hit/miss contrast of Fig. 2 observed in
+// the synthesized physical EM signal of the Olimex board.
+func RunFig4(o Options) (*SignalFigure, error) {
+	o = o.withDefaults()
+	dev := device.Olimex()
+	f := &SignalFigure{
+		Title:  "Fig. 4: LLC hit vs miss in the physical (synthesized EM) side-channel signal",
+		Series: map[string][]float64{},
+	}
+	for _, c := range []struct {
+		level workloads.MissLevel
+		name  string
+	}{{workloads.MissL1, "llc-hit"}, {workloads.MissLLC, "llc-miss"}} {
+		wl, err := workloads.AccessKernel(workloads.DefaultAccessKernelParams(
+			c.level, dev.Mem.L1D.SizeBytes, dev.Mem.LLC.SizeBytes))
+		if err != nil {
+			return nil, err
+		}
+		run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		slice, err := run.SliceRegion(workloads.RegionKernelAccess)
+		if err != nil {
+			return nil, err
+		}
+		f.SampleRate = slice.SampleRate
+		f.Series[c.name] = slice.Samples
+		prof := analyze(slice)
+		avgNS := 0.0
+		if len(prof.Stalls) > 0 {
+			avgNS = prof.AvgStallCycles() / dev.CPU.ClockHz * 1e9
+		}
+		f.Notes = append(f.Notes, fmt.Sprintf("%s: detected stalls=%d avg=%.0f ns (paper: miss stalls last ~300 ns)",
+			c.name, len(prof.Stalls), avgNS))
+	}
+	return f, nil
+}
+
+// Fig5Result is the refresh-collision study.
+type Fig5Result struct {
+	// Stalls and RefreshStalls are EMPROF's counts; refresh stalls are the
+	// 2–3 µs events.
+	Stalls, RefreshStalls int
+	// AvgNormalNS and AvgRefreshNS are mean durations of the two classes.
+	AvgNormalNS, AvgRefreshNS float64
+	// MeanRefreshSpacingUS is the mean time between refresh-coincident
+	// stalls (paper: at least every ~70 µs).
+	MeanRefreshSpacingUS float64
+	// TruthRefreshHits is the ground-truth count of refresh-delayed
+	// misses.
+	TruthRefreshHits int
+}
+
+// RunFig5 reproduces Fig. 5: LLC misses colliding with DRAM refresh stall
+// for 2–3 µs and recur on the refresh period.
+func RunFig5(o Options) (*Fig5Result, error) {
+	o = o.withDefaults()
+	dev := device.Olimex()
+	misses := 3000
+	if o.Quick {
+		misses = 600
+	}
+	wl, err := workloads.RefreshKernel(misses, 160, 64, dev.Mem.LLC.SizeBytes, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	prof := analyze(run.Capture)
+	res := &Fig5Result{Stalls: len(prof.Stalls), RefreshStalls: prof.RefreshStalls}
+	var nNorm, nRef int
+	var sumNorm, sumRef float64
+	var lastRefresh float64
+	var spacings []float64
+	for _, s := range prof.Stalls {
+		if s.Refresh {
+			nRef++
+			sumRef += s.DurationS
+			if lastRefresh > 0 {
+				spacings = append(spacings, s.StartS-lastRefresh)
+			}
+			lastRefresh = s.StartS
+		} else {
+			nNorm++
+			sumNorm += s.DurationS
+		}
+	}
+	if nNorm > 0 {
+		res.AvgNormalNS = sumNorm / float64(nNorm) * 1e9
+	}
+	if nRef > 0 {
+		res.AvgRefreshNS = sumRef / float64(nRef) * 1e9
+	}
+	if len(spacings) > 0 {
+		res.MeanRefreshSpacingUS = dsp.Summarize(spacings).Mean * 1e6
+	}
+	for _, m := range run.Truth.Misses {
+		if m.RefreshHit {
+			res.TruthRefreshHits++
+		}
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 5 summary.
+func (r *Fig5Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 5: memory-refresh-coincident stalls")
+	fmt.Fprintf(w, "  detected stalls=%d, refresh-coincident=%d (ground truth refresh-delayed misses=%d)\n",
+		r.Stalls, r.RefreshStalls, r.TruthRefreshHits)
+	fmt.Fprintf(w, "  avg normal stall=%.0f ns, avg refresh stall=%.0f ns (paper: ~300 ns vs 2-3 us)\n",
+		r.AvgNormalNS, r.AvgRefreshNS)
+	fmt.Fprintf(w, "  mean spacing between refresh stalls=%.1f us (paper: at least every ~70 us)\n",
+		r.MeanRefreshSpacingUS)
+}
+
+// Fig7Result is the microbenchmark whole-run signal study.
+type Fig7Result struct {
+	Whole *SignalFigure
+	// GroupStalls is the number of dips detected inside one CM group
+	// (paper Fig. 7b zooms into a CM=10 group showing its 10 misses).
+	GroupStalls int
+	CM          int
+}
+
+// RunFig7 reproduces Fig. 7: the full microbenchmark signal with its
+// marker loops and a zoom into one group of CM consecutive misses.
+func RunFig7(o Options) (*Fig7Result, error) {
+	o = o.withDefaults()
+	dev := device.Olimex()
+	mp := workloads.DefaultMicroParams(1024, 10)
+	if o.Quick {
+		mp = workloads.DefaultMicroParams(256, 10)
+	}
+	run, slice, err := simulateMicro(dev, mp, emprof.CaptureOptions{Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	prof := analyze(slice)
+	f := &SignalFigure{
+		Title:      "Fig. 7: EM signal of a full microbenchmark run (markers + memory-access section)",
+		Series:     map[string][]float64{"whole-run": run.Capture.Samples},
+		SampleRate: run.Capture.SampleRate,
+	}
+	res := &Fig7Result{Whole: f, CM: mp.CM}
+	// Count dips inside one group: take stalls between the (CM)th and
+	// (2·CM)th detected events and verify spacing; simpler: count
+	// detections in the span of one group = CM consecutive stalls.
+	if len(prof.Stalls) >= 2*mp.CM {
+		start := prof.Stalls[mp.CM].StartS
+		end := prof.Stalls[2*mp.CM-1].StartS
+		res.GroupStalls = len(prof.StallsBetween(start, end)) + 1
+	}
+	f.Notes = append(f.Notes, fmt.Sprintf("detected %d stalls in the memory-access section (TM=%d)",
+		len(prof.Stalls), mp.TM))
+	return res, nil
+}
+
+// Render writes the Fig. 7 summary.
+func (r *Fig7Result) Render(w io.Writer) {
+	r.Whole.Render(w)
+	fmt.Fprintf(w, "  zoom: one CM group contains %d individually visible dips (CM=%d)\n",
+		r.GroupStalls, r.CM)
+}
+
+// Fig8Result compares the simulator power proxy and the synthesized EM
+// signal for the same microbenchmark (paper Fig. 8).
+type Fig8Result struct {
+	Sim *SignalFigure
+	Dev *SignalFigure
+	// SimStalls/DevStalls are detected event counts in each signal's
+	// memory-access section.
+	SimStalls, DevStalls int
+	TM                   int
+}
+
+// RunFig8 reproduces Fig. 8: the SESC power trace and the Olimex EM trace
+// of the same microbenchmark carry the same EMPROF-relevant structure.
+func RunFig8(o Options) (*Fig8Result, error) {
+	o = o.withDefaults()
+	mp := workloads.DefaultMicroParams(256, 10)
+	res := &Fig8Result{TM: mp.TM}
+
+	srun, sslice, err := simulateMicro(device.SESC(), mp, emprof.CaptureOptions{
+		Seed: o.Seed, NoiseFree: true, BandwidthHz: 50e6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Sim = &SignalFigure{
+		Title:      "simulator power signal",
+		Series:     map[string][]float64{"sesc": srun.Capture.Samples},
+		SampleRate: srun.Capture.SampleRate,
+	}
+	res.SimStalls = len(analyze(sslice).Stalls)
+
+	drun, dslice, err := simulateMicro(device.Olimex(), mp, emprof.CaptureOptions{Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res.Dev = &SignalFigure{
+		Title:      "Olimex EM signal",
+		Series:     map[string][]float64{"olimex": drun.Capture.Samples},
+		SampleRate: drun.Capture.SampleRate,
+	}
+	res.DevStalls = len(analyze(dslice).Stalls)
+	return res, nil
+}
+
+// Render writes the Fig. 8 comparison.
+func (r *Fig8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 8: simulator power signal vs device EM signal, same microbenchmark")
+	r.Sim.Render(w)
+	r.Dev.Render(w)
+	fmt.Fprintf(w, "  detected in memory-access section: simulator=%d, device=%d (TM=%d)\n",
+		r.SimStalls, r.DevStalls, r.TM)
+}
+
+// Fig10Result is the dual-probe (processor + memory) experiment.
+type Fig10Result struct {
+	// CoincidenceFraction is the fraction of detected CPU stalls whose
+	// window contains elevated memory-probe activity.
+	CoincidenceFraction float64
+	Stalls              int
+	// BaselineActivity and StallActivity compare the memory signal level
+	// outside and inside stalls.
+	BaselineActivity, StallActivity float64
+}
+
+// RunFig10 reproduces Fig. 10: CPU-signal dips coincide with bursts in
+// the memory probe's signal.
+func RunFig10(o Options) (*Fig10Result, error) {
+	o = o.withDefaults()
+	dev := device.Olimex()
+	mp := workloads.DefaultMicroParams(120, 10)
+	wl, err := workloads.Microbenchmark(mp)
+	if err != nil {
+		return nil, err
+	}
+	run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{Seed: o.Seed, MemoryProbe: true})
+	if err != nil {
+		return nil, err
+	}
+	slice, err := run.SliceRegion(workloads.RegionMisses)
+	if err != nil {
+		return nil, err
+	}
+	prof := analyze(slice)
+	lo, _, _ := run.RegionWindow(workloads.RegionMisses)
+	cps := run.Capture.CyclesPerSample()
+	offset := int(float64(lo) / cps)
+
+	mem := run.MemCapture.Samples
+	inStall := make([]bool, len(mem))
+	var stallSum, baseSum float64
+	var stallN, baseN int
+	coincide := 0
+	for _, s := range prof.Stalls {
+		hit := false
+		for i := s.StartSample + offset; i < s.EndSample+offset && i < len(mem); i++ {
+			if i >= 0 {
+				inStall[i] = true
+				stallSum += mem[i]
+				stallN++
+				if mem[i] > 0.05 {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			coincide++
+		}
+	}
+	for i, v := range mem {
+		if !inStall[i] {
+			baseSum += v
+			baseN++
+		}
+	}
+	res := &Fig10Result{Stalls: len(prof.Stalls)}
+	if len(prof.Stalls) > 0 {
+		res.CoincidenceFraction = float64(coincide) / float64(len(prof.Stalls))
+	}
+	if stallN > 0 {
+		res.StallActivity = stallSum / float64(stallN)
+	}
+	if baseN > 0 {
+		res.BaselineActivity = baseSum / float64(baseN)
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 10 summary.
+func (r *Fig10Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 10: simultaneous processor and memory probing")
+	fmt.Fprintf(w, "  %d detected CPU stalls; %.1f%% coincide with memory-probe activity\n",
+		r.Stalls, 100*r.CoincidenceFraction)
+	fmt.Fprintf(w, "  memory-signal level inside stalls=%.3f vs outside=%.3f\n",
+		r.StallActivity, r.BaselineActivity)
+}
+
+// Fig11Result is the mcf stall-latency histogram on the three devices.
+type Fig11Result struct {
+	Devices  []string
+	Hists    []*dsp.Histogram
+	TailPcts []float64 // fraction of stalls >= 300 cycles, per device
+}
+
+// RunFig11 reproduces Fig. 11: the histogram of detected stall latencies
+// for mcf on each device; the phones show a thicker tail than the IoT
+// board.
+func RunFig11(o Options) (*Fig11Result, error) {
+	o = o.withDefaults()
+	res := &Fig11Result{}
+	for _, d := range device.All() {
+		wl, err := emprof.SPECWorkload("mcf", o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		run, err := emprof.Simulate(d, wl, emprof.CaptureOptions{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		prof := analyze(run.Capture)
+		h := prof.LatencyHistogram(0, 1600, 32)
+		res.Devices = append(res.Devices, d.Name)
+		res.Hists = append(res.Hists, h)
+		res.TailPcts = append(res.TailPcts, 100*h.TailFraction(300))
+	}
+	return res, nil
+}
+
+// Render writes the histograms.
+func (r *Fig11Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 11: stall-latency histogram for mcf (bins of 50 cycles, 0-1600)")
+	for i, d := range r.Devices {
+		fmt.Fprintf(w, "  %-8s %s  tail(>=300cyc)=%.1f%% (n=%d)\n",
+			d, sparkline(intsToFloats(r.Hists[i].Counts)), r.TailPcts[i], r.Hists[i].Total())
+	}
+}
+
+// Fig12Row is one bandwidth point of the Fig. 12 sweep.
+type Fig12Row struct {
+	BandwidthMHz float64
+	// Detected stalls and average stall latency (cycles) per device
+	// (Alcatel, Olimex).
+	Detected [2]int
+	AvgLat   [2]float64
+}
+
+// Fig12Result is the measurement-bandwidth sweep.
+type Fig12Result struct {
+	Devices [2]string
+	Rows    []Fig12Row
+}
+
+// RunFig12 reproduces Fig. 12: sweeping the measurement bandwidth over
+// 20–160 MHz for mcf on the Alcatel phone and the Olimex board. At
+// 20 MHz the Alcatel detects only very long stalls; statistics stabilise
+// from 60 MHz (≈6% of the clock) upward.
+func RunFig12(o Options) (*Fig12Result, error) {
+	o = o.withDefaults()
+	devs := [2]device.Device{device.Alcatel(), device.Olimex()}
+	res := &Fig12Result{Devices: [2]string{devs[0].Name, devs[1].Name}}
+	bws := []float64{20e6, 40e6, 60e6, 80e6, 160e6}
+	if o.Quick {
+		bws = []float64{20e6, 60e6}
+	}
+	for _, bw := range bws {
+		row := Fig12Row{BandwidthMHz: bw / 1e6}
+		for i, d := range devs {
+			wl, err := emprof.SPECWorkload("mcf", o.Scale)
+			if err != nil {
+				return nil, err
+			}
+			run, err := emprof.Simulate(d, wl, emprof.CaptureOptions{Seed: o.Seed, BandwidthHz: bw})
+			if err != nil {
+				return nil, err
+			}
+			prof := analyze(run.Capture)
+			row.Detected[i] = len(prof.Stalls)
+			row.AvgLat[i] = prof.AvgStallCycles()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the sweep.
+func (r *Fig12Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 12: effect of measurement bandwidth (mcf)")
+	fmt.Fprintf(w, "  %-10s | %-10s stalls avg-lat | %-10s stalls avg-lat\n", "BW (MHz)", r.Devices[0], r.Devices[1])
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-10.0f | %-10s %6d %7.0f | %-10s %6d %7.0f\n",
+			row.BandwidthMHz, "", row.Detected[0], row.AvgLat[0], "", row.Detected[1], row.AvgLat[1])
+	}
+}
+
+// Fig13Result is the boot-profiling experiment.
+type Fig13Result struct {
+	// Series are misses per time bin for two boots.
+	Run1, Run2 []int
+	BinMS      float64
+	// Correlation is the Pearson correlation between the two runs' series
+	// (the coarse structure repeats boot to boot).
+	Correlation float64
+}
+
+// RunFig13 reproduces Fig. 13: the LLC miss rate over time during two
+// boots of the IoT device.
+func RunFig13(o Options) (*Fig13Result, error) {
+	o = o.withDefaults()
+	dev := device.Olimex()
+	scale := 4 * o.Scale
+	if o.Quick {
+		scale = o.Scale
+	}
+	series := make([][]int, 2)
+	binS := 250e-6
+	for i := 0; i < 2; i++ {
+		wl := emprof.BootWorkload(scale, o.Seed+uint64(i)*31)
+		run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{Seed: o.Seed + uint64(i)})
+		if err != nil {
+			return nil, err
+		}
+		prof := analyze(run.Capture)
+		if i == 0 {
+			// ~60 bins across the boot regardless of its scaled length.
+			binS = run.Capture.Duration() / 60
+			if binS <= 0 {
+				binS = 250e-6
+			}
+		}
+		series[i] = prof.MissRateSeries(binS)
+	}
+	n := len(series[0])
+	if len(series[1]) < n {
+		n = len(series[1])
+	}
+	res := &Fig13Result{Run1: series[0], Run2: series[1], BinMS: binS * 1e3}
+	res.Correlation = pearson(intsToFloats(series[0][:n]), intsToFloats(series[1][:n]))
+	return res, nil
+}
+
+func pearson(a, b []float64) float64 {
+	sa, sb := dsp.Summarize(a), dsp.Summarize(b)
+	if sa.StdDev == 0 || sb.StdDev == 0 {
+		return 0
+	}
+	num := 0.0
+	for i := range a {
+		num += (a[i] - sa.Mean) * (b[i] - sb.Mean)
+	}
+	return num / float64(len(a)-1) / (sa.StdDev * sb.StdDev)
+}
+
+// Render writes the boot series.
+func (r *Fig13Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 13: boot-sequence LLC miss rate over time (bins of %.2f ms)\n", r.BinMS)
+	fmt.Fprintf(w, "  boot 1: %s\n", sparkline(downsample(intsToFloats(r.Run1), 100)))
+	fmt.Fprintf(w, "  boot 2: %s\n", sparkline(downsample(intsToFloats(r.Run2), 100)))
+	fmt.Fprintf(w, "  run-to-run correlation of the miss-rate series: %.2f\n", r.Correlation)
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderer is any experiment result that can print itself.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+// Runner executes one named experiment.
+type Runner func(o Options) (Renderer, error)
+
+// Registry maps experiment names ("table2", "fig11", "perf", ...) to
+// runners; cmd/embench dispatches through it.
+var Registry = map[string]Runner{
+	"table1": func(o Options) (Renderer, error) { return renderFunc(Table1), nil },
+	"table2": wrap(RunTable2),
+	"table3": wrap(RunTable3),
+	"table4": wrap(RunTable4),
+	"table5": wrap(RunTable5),
+	"fig1":   wrap(RunFig1),
+	"fig2":   wrap(RunFig2),
+	"fig3":   wrap(RunFig3),
+	"fig4":   wrap(RunFig4),
+	"fig5":   wrap(RunFig5),
+	"fig7":   wrap(RunFig7),
+	"fig8":   wrap(RunFig8),
+	"fig10":  wrap(RunFig10),
+	"fig11":  wrap(RunFig11),
+	"fig12":  wrap(RunFig12),
+	"fig13":  wrap(RunFig13),
+	"fig14":  wrap(RunAttribution),
+	"perf":   wrap(RunPerfBaseline),
+	// stability is this repository's extension: EMPROF vs perf variance.
+	"stability": wrap(RunStability),
+}
+
+// Names returns the registry keys in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment and renders it to w.
+func Run(name string, o Options, w io.Writer) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	res, err := r(o)
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}
+
+// wrap adapts a typed runner to the Runner signature.
+func wrap[T Renderer](f func(Options) (T, error)) Runner {
+	return func(o Options) (Renderer, error) {
+		res, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+// renderFunc adapts a plain printing function to Renderer.
+type renderFunc func(w io.Writer)
+
+// Render implements Renderer.
+func (f renderFunc) Render(w io.Writer) { f(w) }

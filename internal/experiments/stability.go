@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"emprof"
+	"emprof/internal/device"
+	"emprof/internal/dsp"
+	"emprof/internal/perfsim"
+	"emprof/internal/sim"
+	"emprof/internal/workloads"
+)
+
+// Stability contrasts run-to-run variance of EMPROF's reported miss count
+// against the perf baseline for the same engineered benchmark — the
+// quantitative form of the paper's motivation: hardware-counter sampling
+// is both inflated and unstable at this scale, while a zero-observer-
+// effect profiler reports the engineered count tightly across repeated
+// acquisitions (different noise, drift phase, and replacement
+// randomness).
+type Stability struct {
+	TrueMisses int
+	Runs       int
+	// EMProf and Perf summarise the reported counts across runs.
+	EMProf dsp.Summary
+	Perf   dsp.Summary
+}
+
+// RunStability repeats the TM=1024 microbenchmark acquisition with
+// varying seeds and summarises both profilers' reported counts.
+func RunStability(o Options) (*Stability, error) {
+	o = o.withDefaults()
+	tm := 1024
+	runs := 10
+	if o.Quick {
+		tm, runs = 256, 4
+	}
+	dev := device.Olimex()
+	mp := workloads.DefaultMicroParams(tm, 10)
+
+	var counts []float64
+	var durS float64
+	var trueMisses int
+	for i := 0; i < runs; i++ {
+		mp.Seed = 0x1234 + uint64(i)
+		run, slice, err := simulateMicro(dev, mp, emprof.CaptureOptions{Seed: o.Seed + uint64(i)*131})
+		if err != nil {
+			return nil, err
+		}
+		prof := analyze(slice)
+		counts = append(counts, float64(len(prof.Stalls)))
+		durS = dev.Seconds(run.Truth.Cycles)
+		trueMisses = len(run.Truth.Misses)
+	}
+
+	sampler := perfsim.MustNewSampler(perfsim.DefaultConfig(), sim.NewRNG(o.Seed))
+	perfStudy := sampler.Repeat(runs, trueMisses, durS)
+
+	return &Stability{
+		TrueMisses: trueMisses,
+		Runs:       runs,
+		EMProf:     dsp.Summarize(counts),
+		Perf:       perfStudy.Summary,
+	}, nil
+}
+
+// Render writes the comparison.
+func (s *Stability) Render(w io.Writer) {
+	fmt.Fprintf(w, "profiler stability over %d runs (engineered misses: %d):\n", s.Runs, s.TrueMisses)
+	fmt.Fprintf(w, "  EMPROF reported: mean=%.1f stddev=%.1f (%.2f%% of mean)\n",
+		s.EMProf.Mean, s.EMProf.StdDev, 100*s.EMProf.StdDev/s.EMProf.Mean)
+	fmt.Fprintf(w, "  perf   reported: mean=%.0f stddev=%.0f (%.0f%% of mean)\n",
+		s.Perf.Mean, s.Perf.StdDev, 100*s.Perf.StdDev/s.Perf.Mean)
+	fmt.Fprintln(w, "  the observer-effect-free profiler is both accurate and repeatable;")
+	fmt.Fprintln(w, "  counter sampling is neither (paper Section V).")
+}

@@ -1,0 +1,95 @@
+package cache
+
+// Prefetcher is a PC-indexed stride prefetcher modelling the hardware
+// prefetch unit of the Samsung device's Cortex-A5 memory system (the paper
+// attributes Samsung's lower miss counts to it). On each demand access it
+// checks whether the access continues a previously seen constant stride for
+// that instruction and, after two confirmations, emits prefetch candidates
+// a configurable degree ahead. The microbenchmark's randomised access
+// pattern was "designed to defeat any stride-based pre-fetching", which
+// this unit faithfully fails to predict.
+type Prefetcher struct {
+	entries []strideEntry
+	mask    uint64
+	degree  int
+	stats   PrefetchStats
+}
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     int8
+	valid    bool
+}
+
+// PrefetchStats counts prefetcher events.
+type PrefetchStats struct {
+	Trained   uint64
+	Issued    uint64
+	Redundant uint64
+}
+
+// NewPrefetcher returns a stride prefetcher with the given table size
+// (power of two) and prefetch degree (lines fetched ahead per trigger).
+func NewPrefetcher(tableSize, degree int) *Prefetcher {
+	if tableSize <= 0 || tableSize&(tableSize-1) != 0 {
+		panic("cache: prefetcher table size must be a power of two")
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return &Prefetcher{
+		entries: make([]strideEntry, tableSize),
+		mask:    uint64(tableSize - 1),
+		degree:  degree,
+	}
+}
+
+// Stats returns a copy of the prefetcher counters.
+func (p *Prefetcher) Stats() PrefetchStats { return p.stats }
+
+// Observe records a demand access by the load/store at pc to addr and
+// returns the line addresses to prefetch (nil when the pattern is not yet
+// confirmed). lineBytes is the cache line size used to align candidates.
+func (p *Prefetcher) Observe(pc, addr uint64, lineBytes int) []uint64 {
+	e := &p.entries[(pc>>2)&p.mask]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return nil
+	}
+	if e.conf < 2 {
+		return nil
+	}
+	p.stats.Trained++
+	line := uint64(lineBytes)
+	out := make([]uint64, 0, p.degree)
+	for i := 1; i <= p.degree; i++ {
+		next := uint64(int64(addr) + stride*int64(i))
+		next &^= line - 1
+		// Skip candidates in the same line as the demand access.
+		if next == addr&^(line-1) {
+			continue
+		}
+		out = append(out, next)
+	}
+	p.stats.Issued += uint64(len(out))
+	return out
+}
+
+// NoteRedundant records that a candidate was already cached.
+func (p *Prefetcher) NoteRedundant() { p.stats.Redundant++ }

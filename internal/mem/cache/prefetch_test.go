@@ -1,0 +1,106 @@
+package cache
+
+import "testing"
+
+func TestPrefetcherTrainsOnConstantStride(t *testing.T) {
+	p := NewPrefetcher(64, 2)
+	pc := uint64(0x1000)
+	var got []uint64
+	for i := 0; i < 6; i++ {
+		addr := uint64(0x4000 + i*64)
+		got = p.Observe(pc, addr, 64)
+	}
+	if len(got) == 0 {
+		t.Fatal("constant stride must eventually emit candidates")
+	}
+	// The last observation was at 0x4000+5*64; candidates should be the
+	// next lines ahead.
+	want := uint64(0x4000 + 6*64)
+	if got[0] != want {
+		t.Fatalf("first candidate %#x, want %#x", got[0], want)
+	}
+	if p.Stats().Trained == 0 || p.Stats().Issued == 0 {
+		t.Fatalf("stats not updated: %+v", p.Stats())
+	}
+}
+
+func TestPrefetcherIgnoresRandomPattern(t *testing.T) {
+	p := NewPrefetcher(64, 2)
+	pc := uint64(0x1000)
+	addrs := []uint64{0x4000, 0x9040, 0x1280, 0x77c0, 0x33100, 0x8000}
+	for _, a := range addrs {
+		if out := p.Observe(pc, a, 64); len(out) != 0 {
+			t.Fatalf("random pattern emitted prefetches: %v", out)
+		}
+	}
+}
+
+func TestPrefetcherStrideChangeResets(t *testing.T) {
+	p := NewPrefetcher(64, 1)
+	pc := uint64(0x2000)
+	for i := 0; i < 5; i++ {
+		p.Observe(pc, uint64(0x4000+i*64), 64)
+	}
+	// Change the stride: confidence must reset, no immediate prefetch.
+	if out := p.Observe(pc, 0x4000+5*64+128, 64); len(out) != 0 {
+		t.Fatalf("stride change should reset, got %v", out)
+	}
+	// The new stride needs to be seen and then confirmed twice before the
+	// prefetcher trusts it again.
+	if out := p.Observe(pc, 0x4000+5*64+256, 64); len(out) != 0 {
+		t.Fatalf("stride registration must not prefetch, got %v", out)
+	}
+	if out := p.Observe(pc, 0x4000+5*64+384, 64); len(out) != 0 {
+		t.Fatalf("one confirmation is not enough, got %v", out)
+	}
+	out := p.Observe(pc, 0x4000+5*64+512, 64)
+	if len(out) == 0 {
+		t.Fatal("new stride should retrain after confirmations")
+	}
+}
+
+func TestPrefetcherDistinctPCs(t *testing.T) {
+	p := NewPrefetcher(64, 1)
+	// Two PCs with different strides must not interfere (distinct slots).
+	for i := 0; i < 6; i++ {
+		p.Observe(0x1000, uint64(0x10000+i*64), 64)
+		p.Observe(0x1004, uint64(0x80000+i*128), 64)
+	}
+	a := p.Observe(0x1000, 0x10000+6*64, 64)
+	b := p.Observe(0x1004, 0x80000+6*128, 64)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("both PCs should be trained")
+	}
+	if a[0] != 0x10000+7*64 {
+		t.Fatalf("pc1 candidate %#x", a[0])
+	}
+}
+
+func TestPrefetcherZeroStride(t *testing.T) {
+	p := NewPrefetcher(64, 2)
+	for i := 0; i < 8; i++ {
+		if out := p.Observe(0x3000, 0x5000, 64); len(out) != 0 {
+			t.Fatalf("zero stride must not prefetch, got %v", out)
+		}
+	}
+}
+
+func TestPrefetcherTableSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two table must panic")
+		}
+	}()
+	NewPrefetcher(100, 2)
+}
+
+func TestPrefetcherDegreeClamp(t *testing.T) {
+	p := NewPrefetcher(16, 0) // clamped to 1
+	for i := 0; i < 6; i++ {
+		p.Observe(0x1000, uint64(0x4000+i*64), 64)
+	}
+	out := p.Observe(0x1000, 0x4000+6*64, 64)
+	if len(out) != 1 {
+		t.Fatalf("degree-1 prefetcher emitted %d candidates", len(out))
+	}
+}

@@ -1,0 +1,78 @@
+package mem
+
+// TLB is a small fully-associative translation lookaside buffer with LRU
+// replacement. The microbenchmark's page-touch pass (Fig. 6, "perform
+// page touch ... to avoid encountering page faults later") exists
+// precisely because first access to a page costs translation work; the
+// model charges a fixed page-walk penalty on each TLB miss.
+type TLB struct {
+	entries []tlbEntry
+	stamp   uint64
+	stats   TLBStats
+}
+
+type tlbEntry struct {
+	page  uint64
+	stamp uint64
+	valid bool
+}
+
+// TLBStats counts translation events.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB returns a TLB with n entries; n <= 0 returns nil (disabled).
+func NewTLB(n int) *TLB {
+	if n <= 0 {
+		return nil
+	}
+	return &TLB{entries: make([]tlbEntry, n)}
+}
+
+// Lookup translates the page containing addr, returning true on a hit.
+// On a miss the translation is installed (the page walk completes).
+func (t *TLB) Lookup(page uint64) bool {
+	t.stats.Accesses++
+	t.stamp++
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.stamp = t.stamp
+			return true
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.stamp < t.entries[victim].stamp {
+			victim = i
+		}
+	}
+	t.stats.Misses++
+	t.entries[victim] = tlbEntry{page: page, stamp: t.stamp, valid: true}
+	return false
+}
+
+// Insert installs a translation without counting an access (used when the
+// OS touches a page on behalf of the program, e.g. fault handling).
+func (t *TLB) Insert(page uint64) {
+	t.stamp++
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.stamp = t.stamp
+			return
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.stamp < t.entries[victim].stamp {
+			victim = i
+		}
+	}
+	t.entries[victim] = tlbEntry{page: page, stamp: t.stamp, valid: true}
+}
+
+// Stats returns the counters.
+func (t *TLB) Stats() TLBStats { return t.stats }

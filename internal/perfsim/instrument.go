@@ -1,0 +1,119 @@
+package perfsim
+
+import (
+	"emprof/internal/sim"
+)
+
+// InstrumentOptions controls handler-burst injection into a workload
+// stream, the mechanistic demonstration of profiler interference: the
+// injected bursts execute on the simulated device, polluting its caches
+// and dilating its execution exactly as a sampling handler would.
+type InstrumentOptions struct {
+	// EveryInsts is the app-instruction period between interrupts.
+	EveryInsts int64
+	// HandlerInsts is the instruction count of each handler burst.
+	HandlerInsts int
+	// HandlerLoadFrac is the fraction of handler instructions that access
+	// kernel data (ring buffer, task state).
+	HandlerLoadFrac float64
+	// KernelWSBytes is the handler's data footprint; a footprint
+	// comparable to the LLC guarantees handler misses and app-line
+	// eviction.
+	KernelWSBytes int64
+	// Seed drives handler address generation.
+	Seed uint64
+}
+
+// DefaultInstrumentOptions returns a 4 kHz-ish interrupt profile for a
+// ~1 GHz, IPC≈1.5 target.
+func DefaultInstrumentOptions() InstrumentOptions {
+	return InstrumentOptions{
+		EveryInsts:      300_000,
+		HandlerInsts:    1_800,
+		HandlerLoadFrac: 0.35,
+		KernelWSBytes:   2 << 20,
+		Seed:            0xbeef,
+	}
+}
+
+const kernelBase = 0xc000_0000
+
+// RegionHandler tags injected handler instructions, so experiments can
+// separate app misses from handler misses in the ground truth.
+const RegionHandler uint16 = 99
+
+// InstrumentedStream wraps inner, injecting a handler burst every
+// EveryInsts application instructions.
+type InstrumentedStream struct {
+	inner sim.Stream
+	opts  InstrumentOptions
+	rng   *sim.RNG
+
+	appCount   int64
+	inHandler  bool
+	handlerPos int
+	handlerPC  uint64
+}
+
+// NewInstrumentedStream wraps a workload with sampling-handler injection.
+func NewInstrumentedStream(inner sim.Stream, opts InstrumentOptions) *InstrumentedStream {
+	if opts.EveryInsts <= 0 {
+		opts.EveryInsts = DefaultInstrumentOptions().EveryInsts
+	}
+	if opts.HandlerInsts <= 0 {
+		opts.HandlerInsts = DefaultInstrumentOptions().HandlerInsts
+	}
+	if opts.KernelWSBytes <= 0 {
+		opts.KernelWSBytes = DefaultInstrumentOptions().KernelWSBytes
+	}
+	return &InstrumentedStream{
+		inner: inner,
+		opts:  opts,
+		rng:   sim.NewRNG(opts.Seed),
+	}
+}
+
+// Next implements sim.Stream.
+func (s *InstrumentedStream) Next(inst *sim.Inst) bool {
+	if s.inHandler {
+		s.emitHandler(inst)
+		return true
+	}
+	if !s.inner.Next(inst) {
+		return false
+	}
+	s.appCount++
+	if s.appCount%s.opts.EveryInsts == 0 {
+		// Interrupt after this instruction: start a burst.
+		s.inHandler = true
+		s.handlerPos = 0
+		s.handlerPC = kernelBase + uint64(s.rng.Intn(64))*0x1000
+	}
+	return true
+}
+
+// emitHandler produces the next handler instruction.
+func (s *InstrumentedStream) emitHandler(inst *sim.Inst) {
+	o := &s.opts
+	*inst = sim.Inst{
+		PC:     s.handlerPC + uint64(s.handlerPos%256)*4,
+		Op:     sim.OpIntALU,
+		Dst:    40,
+		Src1:   40,
+		Region: RegionHandler,
+	}
+	if s.rng.Float64() < o.HandlerLoadFrac {
+		if s.rng.Float64() < 0.4 {
+			inst.Op = sim.OpStore
+		} else {
+			inst.Op = sim.OpLoad
+			inst.Dst = 41
+		}
+		inst.Addr = kernelBase + uint64(s.rng.Int63())%uint64(o.KernelWSBytes)
+		inst.Size = 4
+	}
+	s.handlerPos++
+	if s.handlerPos >= o.HandlerInsts {
+		s.inHandler = false
+	}
+}

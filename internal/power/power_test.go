@@ -1,0 +1,97 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCyclePowerMonotone(t *testing.T) {
+	w := DefaultWeights()
+	idle := w.Cycle(Activity{})
+	if idle != w.Base {
+		t.Fatalf("idle power %v, want base %v", idle, w.Base)
+	}
+	stalled := w.Cycle(Activity{MissesOut: 2})
+	if stalled <= idle {
+		t.Fatal("miss-wait must add a little power")
+	}
+	busy := w.Cycle(Activity{FetchActive: true, Issued: 2, IntALU: 2})
+	if busy <= 2*stalled {
+		t.Fatalf("busy power %v not well above stalled %v", busy, stalled)
+	}
+	fp := w.Cycle(Activity{FetchActive: true, Issued: 2, FPMulDiv: 2})
+	intOnly := w.Cycle(Activity{FetchActive: true, Issued: 2, IntALU: 2})
+	if fp <= intOnly {
+		t.Fatal("FP units must draw more than integer ALUs")
+	}
+}
+
+func TestCyclePowerAdditive(t *testing.T) {
+	w := DefaultWeights()
+	a := Activity{Issued: 1, IntALU: 1}
+	b := Activity{Issued: 1, MemAccesses: 1}
+	pa, pb := w.Cycle(a), w.Cycle(b)
+	combined := w.Cycle(Activity{Issued: 2, IntALU: 1, MemAccesses: 1})
+	if math.Abs((pa+pb-w.Base)-combined) > 1e-12 {
+		t.Fatalf("power not additive: %v + %v vs %v", pa, pb, combined)
+	}
+}
+
+func TestIntervalSampler(t *testing.T) {
+	s := NewIntervalSampler(4)
+	for i := 0; i < 10; i++ {
+		s.PushCycle(float64(i))
+	}
+	s.Flush()
+	got := s.Samples()
+	want := []float64{1.5, 5.5, 8.5} // (0+1+2+3)/4, (4..7)/4, (8+9)/2
+	if len(got) != 3 {
+		t.Fatalf("samples %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("samples %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIntervalSamplerRate(t *testing.T) {
+	s := NewIntervalSampler(20)
+	if got := s.SampleRate(1e9); got != 50e6 {
+		t.Fatalf("sample rate %v, want 50 MHz", got)
+	}
+	if s.CyclesPerSample() != 20 {
+		t.Fatal("cycles per sample wrong")
+	}
+}
+
+func TestIntervalSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window must panic")
+		}
+	}()
+	NewIntervalSampler(0)
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a := NewIntervalSampler(1)
+	b := NewIntervalSampler(1)
+	m := MultiSink{a, b}
+	m.PushCycle(3)
+	m.PushCycle(5)
+	if len(a.Samples()) != 2 || len(b.Samples()) != 2 {
+		t.Fatal("multisink did not fan out")
+	}
+	if a.Samples()[1] != 5 || b.Samples()[0] != 3 {
+		t.Fatal("multisink values wrong")
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	s := NewIntervalSampler(4)
+	s.Flush()
+	if len(s.Samples()) != 0 {
+		t.Fatal("flush of empty sampler emitted a sample")
+	}
+}

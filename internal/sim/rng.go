@@ -1,0 +1,131 @@
+// Package sim provides the shared simulation substrate: the instruction
+// stream representation consumed by the cycle-level processor model, region
+// markers used for attribution ground truth, and a small deterministic
+// pseudo-random number generator so that every experiment in the repository
+// is reproducible from a seed.
+package sim
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// splitmix64 seeding and xoshiro256** output. It is intentionally not
+// math/rand so that traces are stable across Go releases and so that each
+// component of the simulator can own an independent, cheaply-forkable
+// stream.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded with seed via splitmix64, which
+// guarantees a well-mixed internal state even for small seeds.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro's all-zero state is absorbing; splitmix cannot produce it for
+	// all four words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Fork returns a new generator whose stream is independent of r's
+// continuation. It advances r once so successive forks differ.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 uniformly random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Geometric returns a geometric variate: the number of failures before the
+// first success for success probability p in (0, 1].
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("sim: Geometric with non-positive p")
+	}
+	u := r.Float64()
+	if u == 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-u) / math.Log(1-p)))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

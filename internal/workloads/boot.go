@@ -1,0 +1,82 @@
+package workloads
+
+// Boot-sequence regions (Fig. 13): the paper profiles the IoT device's
+// boot "from its very beginning, even before the processor's performance
+// monitoring features are initialized".
+const (
+	RegionBootROM       uint16 = 50
+	RegionBootDecomp    uint16 = 51
+	RegionBootKernel    uint16 = 52
+	RegionBootDrivers   uint16 = 53
+	RegionBootFS        uint16 = 54
+	RegionBootUserspace uint16 = 55
+)
+
+// BootProgram models a device boot as a phased workload whose miss rate
+// varies strongly over time, which is all Fig. 13 requires: an early
+// ROM/loader burst (cold caches, heavy code and data misses), a
+// decompression phase (streaming, moderate misses), kernel init (bursty),
+// driver probing (pointer-heavy, high miss rate), filesystem mount
+// (metadata walks), and a quieter userspace start. scale ≈ dynamic
+// instructions in millions; seed differentiates the paper's "two distinct
+// runs", whose coarse structure repeats while fine detail differs.
+func BootProgram(scale float64, seed uint64) *Program {
+	n := func(m float64) int64 {
+		v := int64(m * scale * 1e6)
+		if v < 1000 {
+			v = 1000
+		}
+		return v
+	}
+	return &Program{
+		Name: "boot",
+		Seed: seed,
+		Phases: []Phase{
+			{
+				Name: "rom_loader", Region: RegionBootROM, Insts: n(0.06),
+				LoadFrac: 0.30, StoreFrac: 0.12,
+				LoopLen: 30, CodeBytes: 48 * kib,
+				WSBytes: 6 * mib, HotBytes: 32 * kib, ColdFrac: 0.004,
+				StrideBytes: 64, StreamFrac: 0.03,
+				DepFrac: 0.4,
+			},
+			{
+				Name: "decompress", Region: RegionBootDecomp, Insts: n(0.22),
+				LoadFrac: 0.28, StoreFrac: 0.14,
+				LoopLen: 40, CodeBytes: 10 * kib,
+				WSBytes: 10 * mib, HotBytes: 48 * kib, ColdFrac: 0.0008,
+				StrideBytes: 8, StreamFrac: 0.06,
+				DepFrac: 0.35,
+			},
+			{
+				Name: "kernel_init", Region: RegionBootKernel, Insts: n(0.18),
+				LoadFrac: 0.24, StoreFrac: 0.10,
+				LoopLen: 64, CodeBytes: 64 * kib,
+				WSBytes: 4 * mib, HotBytes: 64 * kib, ColdFrac: 0.0012,
+				DepFrac: 0.4,
+			},
+			{
+				Name: "driver_probe", Region: RegionBootDrivers, Insts: n(0.20),
+				LoadFrac: 0.30, StoreFrac: 0.08,
+				LoopLen: 36, CodeBytes: 80 * kib,
+				WSBytes: 8 * mib, HotBytes: 48 * kib, ColdFrac: 0.0022,
+				PointerChase: true,
+				DepFrac:      0.5,
+			},
+			{
+				Name: "fs_mount", Region: RegionBootFS, Insts: n(0.14),
+				LoadFrac: 0.27, StoreFrac: 0.09,
+				LoopLen: 48, CodeBytes: 32 * kib,
+				WSBytes: 5 * mib, HotBytes: 64 * kib, ColdFrac: 0.0010,
+				DepFrac: 0.4,
+			},
+			{
+				Name: "userspace", Region: RegionBootUserspace, Insts: n(0.20),
+				LoadFrac: 0.22, StoreFrac: 0.07,
+				LoopLen: 72, CodeBytes: 40 * kib,
+				WSBytes: 1 * mib, HotBytes: 96 * kib, ColdFrac: 0.0001,
+				DepFrac: 0.35,
+			},
+		},
+	}
+}

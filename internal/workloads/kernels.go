@@ -1,0 +1,290 @@
+package workloads
+
+import (
+	"fmt"
+
+	"emprof/internal/sim"
+)
+
+// Kernel regions used by the signal-shape studies (Figs. 1–5).
+const (
+	RegionKernelWarm   uint16 = 40
+	RegionKernelAccess uint16 = 41
+	RegionKernelIdleA  uint16 = 42
+	RegionKernelIdleB  uint16 = 43
+)
+
+// MissLevel selects which cache level the access kernel misses in,
+// matching the paper's "small application [whose] array size can be
+// changed in order to produce cache misses in different levels of the
+// cache hierarchy" (Section III-B, Fig. 2).
+type MissLevel int
+
+const (
+	// MissNone sizes the array inside L1D: every load hits.
+	MissNone MissLevel = iota
+	// MissL1 sizes the array between L1D and LLC: L1 misses, LLC hits
+	// (Fig. 2a).
+	MissL1
+	// MissLLC sizes the array beyond the LLC: LLC misses (Fig. 2b).
+	MissLLC
+)
+
+// AccessKernelParams configures the load kernel.
+type AccessKernelParams struct {
+	// Level selects the miss level relative to the given cache sizes.
+	Level MissLevel
+	// L1Bytes and LLCBytes are the target device's cache sizes.
+	L1Bytes, LLCBytes int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// Accesses is the number of loads in the access section.
+	Accesses int
+	// GapWork is the ALU instruction count between consecutive loads
+	// (compute separating the stalls so each is individually visible).
+	GapWork int
+	// Serialize makes each load's address depend on the previous loaded
+	// value (no MLP). When false, loads are independent and overlap up to
+	// the MSHR limit — the Fig. 3a regime where early misses cause no
+	// stall.
+	Serialize bool
+	// BlankIters is the marker-loop length surrounding the section.
+	BlankIters int
+	// Seed drives address shuffling.
+	Seed uint64
+}
+
+// DefaultAccessKernelParams returns a kernel matching the paper's Fig. 2
+// methodology against the given cache sizes.
+func DefaultAccessKernelParams(level MissLevel, l1, llc int) AccessKernelParams {
+	return AccessKernelParams{
+		Level:      level,
+		L1Bytes:    l1,
+		LLCBytes:   llc,
+		LineBytes:  64,
+		Accesses:   64,
+		GapWork:    120,
+		Serialize:  true,
+		BlankIters: 4000,
+		Seed:       0xfeed,
+	}
+}
+
+// AccessKernel builds the Fig. 2 load kernel: a warm-up pass over an array
+// whose size selects the miss level, marker loops, and a sequence of
+// spaced loads over that array.
+//
+//   - MissNone: array ≤ L1D/2 — warmed loads hit L1.
+//   - MissL1: array between L1D and LLC — second-pass loads miss L1 but
+//     hit LLC (brief stalls, Fig. 2a).
+//   - MissLLC: array ≫ LLC — second-pass loads with fresh lines miss the
+//     LLC (long stalls, Fig. 2b).
+func AccessKernel(p AccessKernelParams) (*sim.SliceStream, error) {
+	if p.Accesses <= 0 || p.LineBytes <= 0 || p.L1Bytes <= 0 || p.LLCBytes <= p.L1Bytes {
+		return nil, fmt.Errorf("workloads: invalid access kernel params %+v", p)
+	}
+	var arrayBytes int
+	switch p.Level {
+	case MissNone:
+		arrayBytes = p.L1Bytes / 2
+	case MissL1:
+		arrayBytes = (p.L1Bytes + p.LLCBytes) / 2
+		if arrayBytes > p.LLCBytes/2 {
+			arrayBytes = p.LLCBytes / 2
+		}
+		if arrayBytes <= p.L1Bytes {
+			arrayBytes = p.L1Bytes * 2
+		}
+	case MissLLC:
+		arrayBytes = p.LLCBytes * 32
+	default:
+		return nil, fmt.Errorf("workloads: unknown miss level %d", p.Level)
+	}
+	lines := arrayBytes / p.LineBytes
+	if lines < p.Accesses {
+		return nil, fmt.Errorf("workloads: array of %d lines too small for %d accesses", lines, p.Accesses)
+	}
+
+	rng := sim.NewRNG(p.Seed)
+	var insts []sim.Inst
+	pc := uint64(0x8000)
+	emit := func(in sim.Inst) {
+		in.PC = pc
+		pc += 4
+		insts = append(insts, in)
+	}
+	blank := func(region uint16) {
+		loopPC := pc
+		for i := 0; i < p.BlankIters; i++ {
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch, Src1: regScratch, Region: region})
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch + 1, Src1: regScratch + 1, Region: region})
+			emit(sim.Inst{Op: sim.OpBranch, Src1: regScratch, Taken: i != p.BlankIters-1, Target: loopPC, Region: region})
+			pc = loopPC
+			if i == p.BlankIters-1 {
+				pc = loopPC + 12
+			}
+		}
+	}
+
+	// Warm-up: touch every line once so MissNone/MissL1 levels are
+	// populated (for MissLLC the warm lines are mostly evicted again, and
+	// the access section uses untouched lines anyway).
+	warmPC := pc
+	for i := 0; i < lines/2; i++ {
+		addr := uint64(arrayBase + i*p.LineBytes)
+		emit(sim.Inst{Op: sim.OpLoad, Dst: regLoadDst, Src1: sim.RegNone, Addr: addr, Size: 4, Region: RegionKernelWarm})
+		emit(sim.Inst{Op: sim.OpBranch, Src1: regScratch, Taken: i != lines/2-1, Target: warmPC, Region: RegionKernelWarm})
+		pc = warmPC
+		if i == lines/2-1 {
+			pc = warmPC + 8
+		}
+	}
+
+	blank(RegionKernelIdleA)
+
+	// Access section.
+	perm := rng.Perm(lines / 2)
+	accPC := pc
+	dst := int16(regLoadDst)
+	for i := 0; i < p.Accesses; i++ {
+		pc = accPC
+		var idx int
+		if p.Level == MissLLC {
+			// Untouched half of the array: guaranteed cold lines.
+			idx = lines/2 + perm[i%len(perm)]
+		} else {
+			idx = perm[i%len(perm)]
+		}
+		addr := uint64(arrayBase + idx*p.LineBytes)
+		if p.Serialize {
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regAddr, Src1: regChain, Region: RegionKernelAccess})
+			emit(sim.Inst{Op: sim.OpLoad, Dst: dst, Src1: regAddr, Addr: addr, Size: 4, Region: RegionKernelAccess})
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regChain, Src1: dst, Region: RegionKernelAccess})
+		} else {
+			emit(sim.Inst{Op: sim.OpLoad, Dst: dst, Src1: sim.RegNone, Addr: addr, Size: 4, Region: RegionKernelAccess})
+		}
+		for w := 0; w < p.GapWork; w++ {
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch + int16(w%6), Src1: regScratch + int16(w%6), Region: RegionKernelAccess})
+		}
+		emit(sim.Inst{Op: sim.OpBranch, Src1: regScratch, Taken: true, Target: accPC, Region: RegionKernelAccess})
+	}
+	pc = accPC + 64
+
+	blank(RegionKernelIdleB)
+	return sim.NewSliceStream(insts), nil
+}
+
+// OverlapKernelParams configures the Fig. 3 MLP study.
+type OverlapKernelParams struct {
+	// Groups is the number of miss groups; GroupSize is the number of
+	// independent loads issued back to back in each group.
+	Groups, GroupSize int
+	// GapWork is the ALU instruction count between groups.
+	GapWork int
+	// LineBytes and LLCBytes size the cold array.
+	LineBytes, LLCBytes int
+	// Seed drives address selection.
+	Seed uint64
+}
+
+// OverlapKernel issues GroupSize *independent* loads back to back per
+// group: the first misses overlap with continued execution (no stall of
+// their own — Fig. 3a) until the core runs out of load-queue/MSHR
+// resources and fully stalls. Ground truth shows more misses than stall
+// intervals, while the stall *time* still tracks the group's performance
+// cost — exactly the under-counting-but-accurate-accounting argument of
+// Section III-B.
+func OverlapKernel(p OverlapKernelParams) (*sim.SliceStream, error) {
+	if p.Groups <= 0 || p.GroupSize <= 0 || p.LineBytes <= 0 || p.LLCBytes <= 0 {
+		return nil, fmt.Errorf("workloads: invalid overlap kernel params %+v", p)
+	}
+	var insts []sim.Inst
+	pc := uint64(0x8000)
+	emit := func(in sim.Inst) {
+		in.PC = pc
+		pc += 4
+		insts = append(insts, in)
+	}
+	next := uint64(arrayBase)
+	step := uint64(p.LLCBytes) // each line maps far apart: always cold
+	loopPC := pc
+	for g := 0; g < p.Groups; g++ {
+		pc = loopPC
+		for i := 0; i < p.GroupSize; i++ {
+			emit(sim.Inst{Op: sim.OpLoad, Dst: regLoadDst + int16(i%8), Src1: sim.RegNone, Addr: next, Size: 4, Region: RegionKernelAccess})
+			next += step + uint64(p.LineBytes)
+		}
+		for w := 0; w < p.GapWork; w++ {
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch + int16(w%6), Src1: regScratch + int16(w%6), Region: RegionKernelAccess})
+		}
+		emit(sim.Inst{Op: sim.OpBranch, Src1: regScratch, Taken: g != p.Groups-1, Target: loopPC, Region: RegionKernelAccess})
+	}
+	return sim.NewSliceStream(insts), nil
+}
+
+// DualMissKernel reproduces Fig. 3b: an instruction fetch and a data load
+// that both miss the LLC and overlap. Each episode jumps to a cold code
+// page while the jump target's first instruction immediately loads from a
+// cold data line.
+func DualMissKernel(episodes, gapWork, lineBytes, llcBytes int) (*sim.SliceStream, error) {
+	if episodes <= 0 || gapWork < 0 {
+		return nil, fmt.Errorf("workloads: invalid dual-miss kernel params")
+	}
+	var insts []sim.Inst
+	pc := uint64(0x8000)
+	emit := func(in sim.Inst) {
+		in.PC = pc
+		pc += 4
+		insts = append(insts, in)
+	}
+	codeNext := uint64(0x0100_0000)
+	dataNext := uint64(arrayBase)
+	step := uint64(llcBytes)
+	for e := 0; e < episodes; e++ {
+		// Jump to a never-before-executed code page: I$ → LLC miss.
+		emit(sim.Inst{Op: sim.OpBranch, Taken: true, Target: codeNext, Region: RegionKernelAccess})
+		pc = codeNext
+		// First instruction at the target loads cold data: D$ → LLC miss
+		// overlapping the I-side miss.
+		emit(sim.Inst{Op: sim.OpLoad, Dst: regLoadDst, Src1: sim.RegNone, Addr: dataNext, Size: 4, Region: RegionKernelAccess})
+		emit(sim.Inst{Op: sim.OpIntALU, Dst: regChain, Src1: regLoadDst, Region: RegionKernelAccess})
+		for w := 0; w < gapWork; w++ {
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch + int16(w%6), Src1: regScratch + int16(w%6), Region: RegionKernelAccess})
+		}
+		codeNext += step + uint64(lineBytes)
+		dataNext += step + 2*uint64(lineBytes)
+	}
+	return sim.NewSliceStream(insts), nil
+}
+
+// RefreshKernel builds a long run of serialized LLC misses spanning many
+// DRAM refresh intervals, so that some misses collide with refresh and
+// exhibit the 2–3 µs stalls of Fig. 5.
+func RefreshKernel(misses, gapWork, lineBytes, llcBytes int, seed uint64) (*sim.SliceStream, error) {
+	if misses <= 0 {
+		return nil, fmt.Errorf("workloads: refresh kernel needs misses > 0")
+	}
+	var insts []sim.Inst
+	pc := uint64(0x8000)
+	emit := func(in sim.Inst) {
+		in.PC = pc
+		pc += 4
+		insts = append(insts, in)
+	}
+	next := uint64(arrayBase)
+	step := uint64(llcBytes)
+	dst := int16(regLoadDst)
+	loopPC := pc
+	for i := 0; i < misses; i++ {
+		pc = loopPC
+		emit(sim.Inst{Op: sim.OpIntALU, Dst: regAddr, Src1: regChain, Region: RegionKernelAccess})
+		emit(sim.Inst{Op: sim.OpLoad, Dst: dst, Src1: regAddr, Addr: next, Size: 4, Region: RegionKernelAccess})
+		emit(sim.Inst{Op: sim.OpIntALU, Dst: regChain, Src1: dst, Region: RegionKernelAccess})
+		for w := 0; w < gapWork; w++ {
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch + int16(w%6), Src1: regScratch + int16(w%6), Region: RegionKernelAccess})
+		}
+		emit(sim.Inst{Op: sim.OpBranch, Src1: regScratch, Taken: i != misses-1, Target: loopPC, Region: RegionKernelAccess})
+		next += step + uint64(lineBytes)
+	}
+	return sim.NewSliceStream(insts), nil
+}

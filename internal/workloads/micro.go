@@ -1,0 +1,254 @@
+// Package workloads generates the instruction traces the paper profiles:
+// the engineered microbenchmark of Fig. 6 with its TM (total misses) and
+// CM (consecutive misses) parameters, small kernels reproducing the
+// signal-shape studies of Figs. 1–5, statistical generators reproducing
+// the memory character of the ten SPEC CPU2000 integer benchmarks of
+// Tables III/IV, and a phased boot-sequence workload for Fig. 13.
+package workloads
+
+import (
+	"fmt"
+
+	"emprof/internal/sim"
+)
+
+// Region identifiers shared by the microbenchmark workloads, used as
+// ground truth for slicing the signal.
+const (
+	RegionPageTouch uint16 = 1
+	RegionMarkerA   uint16 = 2 // blank loop before the miss section
+	RegionMisses    uint16 = 3
+	RegionMarkerB   uint16 = 4 // blank loop after the miss section
+)
+
+// Register conventions for generated code.
+const (
+	regZero    = 0
+	regChain   = 1 // serial PRNG/address chain
+	regAddr    = 2
+	regLoadDst = 8  // 8..15 rotate as load destinations
+	regCounter = 16 // 16..23 loop counters
+	regScratch = 24 // 24..39 scratch
+)
+
+// MicroParams configures the Fig. 6 microbenchmark.
+type MicroParams struct {
+	// TM is the total number of LLC misses the benchmark engineers.
+	TM int
+	// CM is the number of consecutive misses per group; a
+	// micro-function call separates groups.
+	CM int
+	// Pages is the number of pages in the array; the working set
+	// Pages×PageBytes must far exceed the LLC so every randomized access
+	// misses.
+	Pages int
+	// PageBytes and LineBytes describe the layout (defaults 4096/64).
+	PageBytes, LineBytes int
+	// BlankIters is the iteration count of each marker loop.
+	BlankIters int
+	// CallWork is the ALU instruction count of the micro-function call.
+	CallWork int
+	// IterWork is the ALU instruction count of each miss-loop iteration's
+	// address computation, modelling the two library rand() calls plus
+	// address arithmetic of Fig. 6 (the paper's Fig. 7b shows misses
+	// spaced on the order of a microsecond apart, i.e. the per-iteration
+	// compute dominates the loop).
+	IterWork int
+	// TouchWork is the ALU instruction count modelling the kernel's
+	// page-fault handling per touched page.
+	TouchWork int
+	// Seed drives address randomization.
+	Seed uint64
+}
+
+// DefaultMicroParams returns parameters matching the paper's setup: a
+// working set far larger than any device's LLC and marker loops long
+// enough to be unambiguous in the signal.
+func DefaultMicroParams(tm, cm int) MicroParams {
+	return MicroParams{
+		TM:         tm,
+		CM:         cm,
+		Pages:      4096, // 16 MB working set at 4 KB pages
+		PageBytes:  4096,
+		LineBytes:  64,
+		BlankIters: 20000,
+		CallWork:   200,
+		IterWork:   3600,
+		TouchWork:  60,
+		Seed:       0x1234,
+	}
+}
+
+// Validate checks the parameters.
+func (p MicroParams) Validate() error {
+	if p.TM <= 0 || p.CM <= 0 {
+		return fmt.Errorf("workloads: TM=%d CM=%d must be positive", p.TM, p.CM)
+	}
+	if p.PageBytes <= 0 || p.LineBytes <= 0 || p.PageBytes%p.LineBytes != 0 {
+		return fmt.Errorf("workloads: bad page/line geometry %d/%d", p.PageBytes, p.LineBytes)
+	}
+	linesPerPage := p.PageBytes / p.LineBytes
+	if linesPerPage < 2 {
+		return fmt.Errorf("workloads: need at least 2 lines per page")
+	}
+	// Line 0 of each page is used by the page touch; random accesses use
+	// the rest.
+	if p.TM > p.Pages*(linesPerPage-1)/2 {
+		return fmt.Errorf("workloads: TM=%d too large for %d pages", p.TM, p.Pages)
+	}
+	if p.BlankIters < 1 || p.CallWork < 1 || p.IterWork < 1 || p.TouchWork < 0 {
+		return fmt.Errorf("workloads: blank iters and work counts must be >= 1")
+	}
+	return nil
+}
+
+// arrayBase is where the microbenchmark's array lives; code lives lower.
+const arrayBase = 0x1000_0000
+
+// Microbenchmark builds the Fig. 6 trace:
+//
+//	// perform page touch
+//	for (# pages_to_be_used) load(page(cache_line_0))
+//	exec_blank_loop()
+//	while (num_accesses != TM) {
+//	    page = rand(); cache_line = rand()
+//	    load(page*PAGE_SIZE + cache_line*CACHE_LINE_SIZE)
+//	    if (num_accesses % CM == 0) micro_function_call()
+//	    num_accesses++
+//	}
+//	exec_blank_loop()
+//
+// Every randomized access is to a distinct cache line (never line 0 of a
+// page, which the page touch may have left cached), and consecutive
+// addresses are serialized through the value-dependent chain register so
+// each miss produces its own stall — the randomization that "defeats any
+// stride-based pre-fetching".
+func Microbenchmark(p MicroParams) (*sim.SliceStream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(p.Seed)
+	linesPerPage := p.PageBytes / p.LineBytes
+
+	var insts []sim.Inst
+	pc := uint64(0x8000)
+	emit := func(in sim.Inst) {
+		in.PC = pc
+		pc += 4
+		insts = append(insts, in)
+	}
+
+	// --- Page touch: the first access to each page faults, and the
+	// kernel's fault handling zeroes the page through the cache, so the
+	// touch itself costs compute (TouchWork) but leaves the line warm —
+	// which is why the paper's devices show ≈TM total misses rather than
+	// TM + Pages (Table IV's microbenchmark rows).
+	touchPC := pc
+	for pg := 0; pg < p.Pages; pg++ {
+		addr := uint64(arrayBase + pg*p.PageBytes)
+		for w := 0; w < p.TouchWork; w++ {
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch + int16(w%6), Src1: regScratch + int16(w%6), Region: RegionPageTouch})
+		}
+		emit(sim.Inst{Op: sim.OpTouch, Addr: addr, Region: RegionPageTouch})
+		emit(sim.Inst{Op: sim.OpLoad, Dst: regLoadDst, Src1: sim.RegNone, Addr: addr, Size: 4, Region: RegionPageTouch})
+		emit(sim.Inst{Op: sim.OpBranch, Src1: regCounter, Taken: pg != p.Pages-1, Target: touchPC, Region: RegionPageTouch})
+		pc = touchPC // loop body reuses its PCs (I$ resident)
+		if pg == p.Pages-1 {
+			pc = touchPC + uint64(4*(p.TouchWork+3))
+		}
+	}
+
+	blankLoop := func(region uint16) {
+		loopPC := pc
+		for i := 0; i < p.BlankIters; i++ {
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch, Src1: regScratch, Region: region})
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch + 1, Src1: regScratch + 1, Region: region})
+			emit(sim.Inst{Op: sim.OpIntALU, Dst: regCounter, Src1: regCounter, Region: region})
+			emit(sim.Inst{Op: sim.OpBranch, Src1: regCounter, Taken: i != p.BlankIters-1, Target: loopPC, Region: region})
+			pc = loopPC
+			if i == p.BlankIters-1 {
+				pc = loopPC + 16
+			}
+		}
+	}
+
+	// --- Marker loop A.
+	blankLoop(RegionMarkerA)
+
+	// --- Miss section: TM unique random lines, serialized.
+	used := make(map[uint64]struct{}, p.TM)
+	missPC := pc
+	dst := int16(regLoadDst)
+	for i := 0; i < p.TM; i++ {
+		var addr uint64
+		for {
+			pg := rng.Intn(p.Pages)
+			ln := 1 + rng.Intn(linesPerPage-1)
+			addr = uint64(arrayBase + pg*p.PageBytes + ln*p.LineBytes)
+			if _, ok := used[addr]; !ok {
+				used[addr] = struct{}{}
+				break
+			}
+		}
+		pc = missPC
+		// PRNG/address computation: rand(), rand(), multiply/add — a
+		// partially serial chain of IterWork instructions executed as a
+		// small loop (the real rand() is warm library code, so its
+		// instruction-cache footprint is tiny).
+		const prngBody = 36 // instructions per inner-loop iteration
+		prngIters := p.IterWork / (prngBody + 1)
+		if prngIters < 1 {
+			prngIters = 1
+		}
+		prngPC := pc
+		for it := 0; it < prngIters; it++ {
+			pc = prngPC
+			for w := 0; w < prngBody; w++ {
+				in := sim.Inst{Op: sim.OpIntALU, Dst: regScratch + int16(w%6), Src1: regScratch + int16(w%6), Region: RegionMisses}
+				if w%3 == 0 {
+					in.Dst = regChain
+					in.Src1 = regChain
+				}
+				if w%23 == 0 {
+					in.Op = sim.OpIntMul
+				}
+				emit(in)
+			}
+			emit(sim.Inst{Op: sim.OpBranch, Src1: regChain, Taken: it != prngIters-1, Target: prngPC, Region: RegionMisses})
+		}
+		pc = prngPC + uint64(4*(prngBody+1))
+		emit(sim.Inst{Op: sim.OpIntALU, Dst: regAddr, Src1: regChain, Region: RegionMisses})
+		emit(sim.Inst{Op: sim.OpLoad, Dst: dst, Src1: regAddr, Addr: addr, Size: 4, Region: RegionMisses})
+		// Fold the loaded value into the chain: the next address depends
+		// on this load, so consecutive misses cannot overlap.
+		emit(sim.Inst{Op: sim.OpIntALU, Dst: regChain, Src1: regChain, Src2: dst, Region: RegionMisses})
+		emit(sim.Inst{Op: sim.OpBranch, Src1: regChain, Taken: true, Target: missPC, Region: RegionMisses})
+
+		if (i+1)%p.CM == 0 && i != p.TM-1 {
+			// micro_function_call(): non-memory work separating groups.
+			callPC := pc + 4
+			emit(sim.Inst{Op: sim.OpCall, Taken: true, Target: callPC, Region: RegionMisses})
+			for w := 0; w < p.CallWork; w++ {
+				emit(sim.Inst{Op: sim.OpIntALU, Dst: regScratch + int16(w%8), Src1: regScratch + int16(w%8), Region: RegionMisses})
+			}
+			emit(sim.Inst{Op: sim.OpReturn, Taken: true, Target: missPC, Region: RegionMisses})
+		}
+	}
+	pc = missPC + uint64(4*(p.IterWork+p.CallWork+16))
+
+	// --- Marker loop B.
+	blankLoop(RegionMarkerB)
+
+	return sim.NewSliceStream(insts), nil
+}
+
+// MicroTMCMGrid returns the paper's Table II/III parameter grid:
+// (TM, CM) ∈ {(256,1), (256,5), (1024,10), (4096,50)}.
+func MicroTMCMGrid() []MicroParams {
+	return []MicroParams{
+		DefaultMicroParams(256, 1),
+		DefaultMicroParams(256, 5),
+		DefaultMicroParams(1024, 10),
+		DefaultMicroParams(4096, 50),
+	}
+}

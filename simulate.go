@@ -1,0 +1,179 @@
+package emprof
+
+import (
+	"fmt"
+	"math"
+
+	"emprof/internal/cpu"
+	"emprof/internal/em"
+	"emprof/internal/mem"
+	"emprof/internal/mem/dram"
+	"emprof/internal/power"
+	"emprof/internal/sim"
+)
+
+// CaptureOptions controls a simulated acquisition.
+type CaptureOptions struct {
+	// BandwidthHz overrides the device's default measurement bandwidth
+	// when non-zero (the paper sweeps 20–160 MHz in Fig. 12).
+	BandwidthHz float64
+	// Seed drives the run's randomness (replacement, noise). Runs with
+	// equal seeds are bit-identical.
+	Seed uint64
+	// NoiseFree disables probe noise and supply drift, producing the
+	// clean power-proxy signal of the SESC validation experiments.
+	NoiseFree bool
+	// PowerProxy additionally records the SESC-style power trace (one
+	// averaged sample per PowerProxyCycles cycles; default 20, the
+	// paper's 50 MHz at 1 GHz).
+	PowerProxy       bool
+	PowerProxyCycles int
+	// MemoryProbe additionally synthesizes the main-memory EM signal from
+	// the DRAM activity trace (the dual-probe experiment of Fig. 10).
+	MemoryProbe bool
+}
+
+// Run is the outcome of one simulated acquisition.
+type Run struct {
+	// Capture is the processor-probe signal.
+	Capture *Capture
+	// MemCapture is the memory-probe signal (with MemoryProbe).
+	MemCapture *Capture
+	// PowerTrace is the SESC-style proxy signal (with PowerProxy) and
+	// PowerRate its sample rate in Hz.
+	PowerTrace []float64
+	PowerRate  float64
+	// Truth is the simulator ground truth: cycles, misses, stalls,
+	// region spans.
+	Truth *cpu.Result
+	// Device echoes the simulated target.
+	Device Device
+}
+
+// Simulate executes the workload on the device and records the EM capture
+// plus ground truth.
+func Simulate(dev Device, w Workload, opts CaptureOptions) (*Run, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(opts.Seed ^ 0x9e3779b97f4a7c15)
+	ms, err := mem.NewSystem(dev.Mem, rng, opts.MemoryProbe)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(dev.CPU, ms)
+	if err != nil {
+		return nil, err
+	}
+
+	bw := opts.BandwidthHz
+	if bw == 0 {
+		bw = dev.EM.DefaultBandwidthHz
+	}
+	rxCfg := em.ReceiverConfig{
+		ClockHz:      dev.CPU.ClockHz,
+		BandwidthHz:  bw,
+		ProbeGain:    dev.EM.ProbeGain,
+		SNRdB:        dev.EM.SNRdB,
+		DriftPeriodS: dev.EM.DriftPeriodS,
+		DriftDepth:   dev.EM.DriftDepth,
+		Seed:         opts.Seed,
+	}
+	if opts.NoiseFree {
+		rxCfg.SNRdB = inf()
+		rxCfg.DriftDepth = 0
+		rxCfg.ProbeGain = 1
+	}
+	rx, err := em.NewReceiver(rxCfg)
+	if err != nil {
+		return nil, err
+	}
+	c.AddSink(rx)
+
+	var proxy *power.IntervalSampler
+	if opts.PowerProxy {
+		n := opts.PowerProxyCycles
+		if n <= 0 {
+			n = 20
+		}
+		proxy = power.NewIntervalSampler(n)
+		c.AddSink(proxy)
+	}
+
+	truth, err := c.Run(w)
+	if err != nil {
+		return nil, err
+	}
+	rx.Flush()
+
+	run := &Run{
+		Capture: rx.Capture(),
+		Truth:   truth,
+		Device:  dev,
+	}
+	if proxy != nil {
+		proxy.Flush()
+		run.PowerTrace = proxy.Samples()
+		run.PowerRate = proxy.SampleRate(dev.CPU.ClockHz)
+	}
+	if opts.MemoryProbe {
+		memCap, err := synthesizeMemoryProbe(dev, ms, truth.Cycles, rxCfg)
+		if err != nil {
+			return nil, err
+		}
+		run.MemCapture = memCap
+	}
+	return run, nil
+}
+
+// synthesizeMemoryProbe builds the memory-side EM capture from the DRAM
+// burst trace, using the same receiver parameters as the processor probe
+// (the paper places a second probe over the SDRAM and records both
+// simultaneously, Fig. 9/10).
+func synthesizeMemoryProbe(dev Device, ms *mem.System, cycles uint64, rxCfg em.ReceiverConfig) (*Capture, error) {
+	d := int(dev.CPU.ClockHz / rxCfg.BandwidthHz)
+	if d < 1 {
+		d = 1
+	}
+	series := dram.ActivitySeries(ms.DRAM().Bursts(), cycles, d)
+	memCfg := rxCfg
+	memCfg.Seed = rxCfg.Seed ^ 0xface
+	// The memory probe couples to I/O pin toggling; model a comparable
+	// but distinct gain.
+	memCfg.ProbeGain = rxCfg.ProbeGain * 0.9
+	return em.SynthesizeFromSeries(series, d, memCfg)
+}
+
+// RegionWindow returns the [start, end) cycle range spanned by a workload
+// region in the run's ground truth, with found=false if the region never
+// executed.
+func (r *Run) RegionWindow(region uint16) (start, end uint64, found bool) {
+	for _, sp := range r.Truth.RegionSpans {
+		if sp.Region != region {
+			continue
+		}
+		if !found {
+			start = sp.StartCycle
+			found = true
+		}
+		end = sp.EndCycle
+	}
+	return start, end, found
+}
+
+// SliceCycles returns the sub-capture covering the cycle range [lo, hi).
+func (r *Run) SliceCycles(lo, hi uint64) *Capture {
+	cps := r.Capture.CyclesPerSample()
+	return r.Capture.Slice(int(float64(lo)/cps), int(float64(hi)/cps))
+}
+
+// SliceRegion returns the sub-capture covering one workload region.
+func (r *Run) SliceRegion(region uint16) (*Capture, error) {
+	lo, hi, ok := r.RegionWindow(region)
+	if !ok {
+		return nil, fmt.Errorf("emprof: region %d not present in run", region)
+	}
+	return r.SliceCycles(lo, hi), nil
+}
+
+func inf() float64 { return math.Inf(1) }
