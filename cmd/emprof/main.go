@@ -65,6 +65,10 @@ func main() {
 		fmt.Printf("average stall:              %.0f cycles (%.0f ns)\n",
 			prof.AvgStallCycles(), prof.AvgStallCycles()/cap.ClockHz*1e9)
 	}
+	fmt.Printf("signal quality:             %s\n", prof.Quality)
+	if len(prof.Stalls) > 0 {
+		fmt.Printf("mean stall confidence:      %.2f\n", prof.MeanConfidence())
+	}
 
 	if *hist && len(prof.Stalls) > 0 {
 		fmt.Println("\nstall-latency histogram (cycles):")
@@ -92,8 +96,8 @@ func main() {
 		if s.Refresh {
 			kind = "refresh"
 		}
-		fmt.Printf("  stall %4d: t=%9.3f µs  Δt=%7.1f ns  %6.0f cycles  depth=%.2f  %s\n",
-			i, s.StartS*1e6, s.DurationS*1e9, s.Cycles, s.Depth, kind)
+		fmt.Printf("  stall %4d: t=%9.3f µs  Δt=%7.1f ns  %6.0f cycles  depth=%.2f  conf=%.2f  %s\n",
+			i, s.StartS*1e6, s.DurationS*1e9, s.Cycles, s.Depth, s.Confidence, kind)
 	}
 }
 

@@ -5,6 +5,7 @@
 //	emsim -device olimex -workload micro:1024:10 -o run.cap
 //	emsim -device samsung -workload spec:mcf -scale 2 -bw 60e6 -o mcf.cap
 //	emsim -device olimex -workload boot -truth -o boot.cap
+//	emsim -device olimex -fault-dropout 0.005 -fault-gain-steps 50 -o rough.cap
 package main
 
 import (
@@ -28,6 +29,17 @@ func main() {
 		noiseFree  = flag.Bool("noise-free", false, "disable probe noise and supply drift")
 		out        = flag.String("o", "capture.cap", "output capture file")
 		truth      = flag.Bool("truth", false, "print ground-truth summary to stdout")
+
+		// Acquisition fault injection (internal/faults): impair the clean
+		// capture before writing it, to exercise robustness downstream.
+		faultDropout    = flag.Float64("fault-dropout", 0, "fraction of samples lost to zero-filled dropouts")
+		faultDropoutLen = flag.Float64("fault-dropout-len", 0, "mean dropout gap length in samples (0 = default)")
+		faultClip       = flag.Float64("fault-clip", 0, "ADC saturation ceiling (absolute magnitude, 0 = off)")
+		faultGainSteps  = flag.Float64("fault-gain-steps", 0, "expected receiver gain steps per second")
+		faultDrift      = flag.Float64("fault-drift", 0, "probe-coupling drift depth in [0,1)")
+		faultBurst      = flag.Float64("fault-burst", 0, "fraction of samples hit by impulsive RF bursts")
+		faultNaN        = flag.Float64("fault-nan", 0, "per-sample probability of NaN corruption")
+		faultSeed       = flag.Uint64("fault-seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
 
@@ -47,12 +59,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := em.SaveCapture(*out, run.Capture); err != nil {
+	capture := run.Capture
+	spec := emprof.FaultSpec{
+		DropoutRate:    *faultDropout,
+		DropoutMeanLen: *faultDropoutLen,
+		ClipLevel:      *faultClip,
+		GainStepsPerS:  *faultGainSteps,
+		DriftDepth:     *faultDrift,
+		BurstRate:      *faultBurst,
+		NaNRate:        *faultNaN,
+		Seed:           *faultSeed,
+	}
+	// Gate on any fault flag being set at all (not spec.Enabled, which is
+	// false for out-of-range values): a typo like -fault-dropout -0.1 must
+	// reach validation and error out, not be silently ignored.
+	if spec != (emprof.FaultSpec{Seed: spec.Seed}) {
+		impaired, rep, err := emprof.InjectFaults(capture, spec)
+		if err != nil {
+			fatal(err)
+		}
+		capture = impaired
+		fmt.Printf("injected faults: %s\n", rep)
+	}
+	if err := em.SaveCapture(*out, capture); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: %d samples at %.2f MHz (%.3f ms on %s)\n",
-		*out, len(run.Capture.Samples), run.Capture.SampleRate/1e6,
-		run.Capture.Duration()*1e3, dev.Name)
+		*out, len(capture.Samples), capture.SampleRate/1e6,
+		capture.Duration()*1e3, dev.Name)
 	if *truth {
 		tr := run.Truth
 		fmt.Printf("ground truth: cycles=%d instructions=%d IPC=%.2f\n",

@@ -25,6 +25,7 @@ import (
 	"emprof/internal/core"
 	"emprof/internal/device"
 	"emprof/internal/em"
+	"emprof/internal/faults"
 	"emprof/internal/sim"
 	"emprof/internal/workloads"
 )
@@ -42,6 +43,20 @@ type Profile = core.Profile
 
 // Stall is one detected LLC-miss-induced stall.
 type Stall = core.Stall
+
+// Quality aggregates the profiler's signal-health findings for a capture:
+// counts of corrupt, dropped, clipped and burst samples, normalisation
+// resyncs after gaps or gain steps, and dips discarded across impairments.
+// Available on every Profile as Profile.Quality.
+type Quality = core.Quality
+
+// FaultSpec selects and parameterises acquisition impairments to inject
+// into a capture (dropouts, ADC clipping, receiver gain steps,
+// probe-coupling drift, RF bursts, NaN corruption); see InjectFaults.
+type FaultSpec = faults.Spec
+
+// FaultReport is the ground-truth record of what InjectFaults did.
+type FaultReport = faults.Report
 
 // Device is a simulated profiling target (processor + memory system + EM
 // acquisition path).
@@ -84,8 +99,17 @@ func DeviceSESC() Device { return device.SESC() }
 func Devices() []Device { return device.All() }
 
 // DeviceByName looks a device up by its paper name ("alcatel", "samsung",
-// "olimex", "sesc"; case-insensitive on the first letter).
+// "olimex", "sesc"; case-insensitive).
 func DeviceByName(name string) (Device, error) { return device.ByName(name) }
+
+// InjectFaults applies the acquisition impairments described by spec to a
+// copy of the capture — the input is never modified — and returns the
+// impaired copy together with a ground-truth report of every injected
+// event. Injection is deterministic under spec.Seed. Profiling the result
+// exercises the analyzers' signal-quality monitor (Profile.Quality).
+func InjectFaults(c *Capture, spec FaultSpec) (*Capture, *FaultReport, error) {
+	return faults.Apply(c, spec)
+}
 
 // Microbenchmark builds the paper's Fig. 6 microbenchmark engineering
 // exactly tm LLC misses in groups of cm, delimited by marker loops.

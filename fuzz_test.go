@@ -1,0 +1,112 @@
+package emprof
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzConfigs are the profiler configurations the fuzzer cycles through:
+// the default plus variants stressing the short-window, no-smoothing and
+// tight-threshold corners. All must validate.
+func fuzzConfigs() []Config {
+	base := DefaultConfig()
+	narrow := base
+	narrow.NormWindowS = 5e-6
+	mid := base
+	mid.NormWindowS = 50e-6
+	raw := base
+	raw.SmoothSamples = 1
+	smooth := base
+	smooth.SmoothSamples = 5
+	tight := base
+	tight.EnterThreshold = 0.2
+	tight.ExitThreshold = 0.3
+	return []Config{base, narrow, mid, raw, smooth, tight}
+}
+
+// FuzzAnalyze feeds arbitrary sample data and config permutations through
+// both the batch and the streaming analyzer. Neither may ever panic —
+// including on NaN/Inf garbage — and on captures at least one
+// normalisation window long the two must agree exactly (the batch
+// analyzer clamps its window on shorter captures, where the pipelines
+// legitimately differ).
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, uint8(1))
+	// A busy level with one dip, in raw float bytes.
+	seed := make([]byte, 0, 1024*8)
+	var b [8]byte
+	for i := 0; i < 1024; i++ {
+		v := 1.0
+		if i >= 500 && i < 520 {
+			v = 0.05
+		}
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed, uint8(1))
+	// Non-finite and zero patterns.
+	nasty := make([]byte, 0, 64*8)
+	for i := 0; i < 64; i++ {
+		v := math.NaN()
+		switch i % 4 {
+		case 1:
+			v = math.Inf(1)
+		case 2:
+			v = 0
+		case 3:
+			v = 1e300
+		}
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		nasty = append(nasty, b[:]...)
+	}
+	f.Add(nasty, uint8(3))
+
+	cfgs := fuzzConfigs()
+	f.Fuzz(func(t *testing.T, data []byte, sel uint8) {
+		n := len(data) / 8
+		if n > 1<<15 {
+			n = 1 << 15
+		}
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		cfg := cfgs[int(sel)%len(cfgs)]
+		const sampleRate, clockHz = 40e6, 1e9
+		c := &Capture{Samples: samples, SampleRate: sampleRate, ClockHz: clockHz}
+
+		pb, err := Analyze(c, cfg)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		ps, err := AnalyzeStream(c, cfg)
+		if err != nil {
+			t.Fatalf("AnalyzeStream: %v", err)
+		}
+
+		window := int(cfg.NormWindowS * sampleRate)
+		if window < 8 {
+			window = 8
+		}
+		if n < window {
+			return
+		}
+		if pb.Misses != ps.Misses || pb.RefreshStalls != ps.RefreshStalls {
+			t.Fatalf("batch/stream diverged: %d/%d vs %d/%d (n=%d cfg=%d)",
+				pb.Misses, pb.RefreshStalls, ps.Misses, ps.RefreshStalls, n, int(sel)%len(cfgs))
+		}
+		if pb.Quality != ps.Quality {
+			t.Fatalf("quality diverged:\nbatch:  %v\nstream: %v", pb.Quality, ps.Quality)
+		}
+		if len(pb.Stalls) != len(ps.Stalls) {
+			t.Fatalf("stall list lengths diverged: %d vs %d", len(pb.Stalls), len(ps.Stalls))
+		}
+		for i := range pb.Stalls {
+			if pb.Stalls[i] != ps.Stalls[i] {
+				t.Fatalf("stall %d diverged:\nbatch:  %+v\nstream: %+v", i, pb.Stalls[i], ps.Stalls[i])
+			}
+		}
+	})
+}

@@ -12,7 +12,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"emprof/internal/dsp"
 	"emprof/internal/em"
@@ -127,6 +126,11 @@ type Stall struct {
 	Depth float64
 	// Refresh is true for refresh-coincident stalls.
 	Refresh bool
+	// Confidence scores the detection in [0, 1] from the dip's depth
+	// margin, the normalisation contrast (a local-SNR proxy) around it,
+	// and its distance from the nearest detected acquisition impairment.
+	// Clean, deep, well-contrasted dips score near 1.
+	Confidence float64
 }
 
 // Profile is the outcome of analysing one capture.
@@ -147,6 +151,23 @@ type Profile struct {
 	// Normalized optionally retains the normalised signal for debugging
 	// and display experiments (set Analyzer.KeepNormalized).
 	Normalized []float64
+	// Quality aggregates the signal-quality monitor's findings: counts of
+	// corrupt/dropped/clipped/burst samples, normalisation resyncs, and
+	// dips aborted across impairments. Clean captures report Clean().
+	Quality Quality
+}
+
+// MeanConfidence returns the mean per-stall confidence (1 when no stalls
+// were detected, so a clean empty profile is not penalised).
+func (p *Profile) MeanConfidence() float64 {
+	if len(p.Stalls) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, s := range p.Stalls {
+		sum += s.Confidence
+	}
+	return sum / float64(len(p.Stalls))
 }
 
 // StallFraction returns stall cycles as a fraction of execution time —
@@ -241,11 +262,25 @@ func (a *Analyzer) Config() Config { return a.cfg }
 //
 // The min/max windows are centred on each sample (implemented as trailing
 // windows read with a half-window lead), so a dip is normalised against
-// the busy level on both sides.
+// the busy level on both sides. The input is first passed through the
+// signal-quality monitor, which sanitises corrupt and dropped samples and
+// re-seeds the min/max state after gaps and gain discontinuities; on a
+// clean capture the output is bit-identical to the unhardened pipeline.
 func (a *Analyzer) Normalize(c *em.Capture) []float64 {
-	n := len(c.Samples)
+	mon := newMonitor(a.cfg, c.SampleRate)
+	san, _, resyncs := mon.scan(c.Samples)
+	norm, _, _, _ := a.normalize(c, san, resyncs)
+	return norm
+}
+
+// normalize maps the sanitised samples into [0, 1] against the moving
+// min/max, resetting the window state at each resync position. It returns
+// the normalised signal, the raw trailing min/max series (for confidence
+// scoring), and the half-window in samples.
+func (a *Analyzer) normalize(c *em.Capture, x []float64, resyncs []int) (norm, mins, maxs []float64, half int) {
+	n := len(x)
 	if n == 0 {
-		return nil
+		return nil, nil, nil, 0
 	}
 	w := int(a.cfg.NormWindowS * c.SampleRate)
 	if w < 8 {
@@ -254,7 +289,6 @@ func (a *Analyzer) Normalize(c *em.Capture) []float64 {
 	if w > n {
 		w = n
 	}
-	x := c.Samples
 	if a.cfg.SmoothSamples > 1 {
 		ma := dsp.NewMovingAverage(a.cfg.SmoothSamples)
 		sm := make([]float64, n)
@@ -268,17 +302,23 @@ func (a *Analyzer) Normalize(c *em.Capture) []float64 {
 		x = sm
 	}
 
-	mins := make([]float64, n)
-	maxs := make([]float64, n)
+	mins = make([]float64, n)
+	maxs = make([]float64, n)
 	mmin := dsp.NewMovingMin(w)
 	mmax := dsp.NewMovingMax(w)
+	ri := 0
 	for i := 0; i < n; i++ {
+		if ri < len(resyncs) && resyncs[ri] == i {
+			mmin.Reset()
+			mmax.Reset()
+			ri++
+		}
 		mins[i] = mmin.Process(x[i])
 		maxs[i] = mmax.Process(x[i])
 	}
 
-	out := make([]float64, n)
-	half := w / 2
+	norm = make([]float64, n)
+	half = w / 2
 	for i := 0; i < n; i++ {
 		// Centre the window: read the trailing stats half a window ahead.
 		j := i + half
@@ -289,7 +329,7 @@ func (a *Analyzer) Normalize(c *em.Capture) []float64 {
 		r := hi - lo
 		if hi <= 0 || r < a.cfg.MinRangeFrac*hi {
 			// Nearly-constant signal: no dip information here.
-			out[i] = 1
+			norm[i] = 1
 			continue
 		}
 		v := (x[i] - lo) / r
@@ -299,80 +339,43 @@ func (a *Analyzer) Normalize(c *em.Capture) []float64 {
 		if v > 1 {
 			v = 1
 		}
-		out[i] = v
+		norm[i] = v
 	}
-	return out
+	return norm, mins, maxs, half
 }
 
-// Profile runs the full EMPROF pipeline on a capture.
+// Profile runs the full EMPROF pipeline on a capture: quality monitoring,
+// normalisation, and stall detection.
 func (a *Analyzer) Profile(c *em.Capture) *Profile {
-	norm := a.Normalize(c)
+	n := len(c.Samples)
 	p := &Profile{
-		ExecCycles: float64(len(c.Samples)) * c.CyclesPerSample(),
+		ExecCycles: float64(n) * c.CyclesPerSample(),
 		SampleRate: c.SampleRate,
 		ClockHz:    c.ClockHz,
 	}
+	if n == 0 {
+		return p
+	}
+	mon := newMonitor(a.cfg, c.SampleRate)
+	san, mask, resyncs := mon.scan(c.Samples)
+	norm, mins, maxs, half := a.normalize(c, san, resyncs)
 	if a.KeepNormalized {
 		p.Normalized = norm
 	}
-	if len(norm) == 0 {
-		return p
-	}
 
-	minSamples := a.cfg.MinStallS * c.SampleRate
-	inDip := false
-	start := 0
-	depth := math.Inf(1)
-	flush := func(end int) {
-		durSamples := end - start
-		durS := float64(durSamples) / c.SampleRate
-		if float64(durSamples) < minSamples {
-			return
-		}
-		maxDepth := a.cfg.MaxDipDepth
-		if durS >= a.cfg.LongStallS {
-			maxDepth = a.cfg.MaxDipDepthLong
-		}
-		if depth > maxDepth {
-			return
-		}
-		s := Stall{
-			StartSample: start,
-			EndSample:   end,
-			StartS:      float64(start) / c.SampleRate,
-			DurationS:   durS,
-			Cycles:      durS * c.ClockHz,
-			Depth:       depth,
-			Refresh:     durS >= a.cfg.RefreshMinS,
-		}
-		p.Stalls = append(p.Stalls, s)
-		if s.Refresh {
-			p.RefreshStalls++
-		} else {
-			p.Misses++
-		}
-		p.StallCycles += s.Cycles
-	}
+	d := newDetector(a.cfg, c.SampleRate, c.ClockHz, half, p, &mon.q, nil)
 	for i, v := range norm {
-		if !inDip {
-			if v < a.cfg.EnterThreshold {
-				inDip = true
-				start = i
-				depth = v
-			}
-			continue
+		var fl qflag
+		if mask != nil {
+			fl = mask[i]
 		}
-		if v < depth {
-			depth = v
+		j := i + half
+		if j >= n {
+			j = n - 1
 		}
-		if v > a.cfg.ExitThreshold {
-			flush(i)
-			inDip = false
-			depth = math.Inf(1)
-		}
+		d.decide(int64(i), v, fl, mins[j], maxs[j])
 	}
-	if inDip {
-		flush(len(norm))
-	}
+	d.finish(int64(n))
+	p.Quality = mon.q
 	return p
 }

@@ -1,0 +1,565 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"emprof/internal/dsp"
+)
+
+// This file implements the signal-quality side of the profiler: a causal
+// per-sample monitor that detects acquisition impairments (corrupt
+// samples, dropouts, ADC saturation, receiver gain steps, impulsive RF
+// bursts), sanitises the sample stream so the normalisation windows are
+// never poisoned, re-seeds the min/max state after discontinuities, and a
+// shared dip detector that suppresses phantom stalls across impaired
+// regions and annotates every reported stall with a confidence score.
+//
+// The monitor is used identically by Analyzer (batch) and StreamAnalyzer:
+// it is strictly causal, so feeding the same raw samples in the same order
+// produces the same flags, sanitised values and resync points in both —
+// which keeps batch and streaming output equivalent, faults or not. On a
+// clean capture every sample passes through bit-identically and no flag or
+// resync ever fires, so hardened profiles match the pre-hardening ones
+// exactly.
+
+// Quality aggregates per-capture signal-health metrics. A fully clean
+// acquisition reports zero in every counter; each counter is a count of
+// samples (or events for Resyncs/AbortedDips) affected by one impairment
+// class. A sample can contribute to more than one counter when
+// impairments overlap, so Impaired is an upper bound on distinct bad
+// samples.
+type Quality struct {
+	// Samples is the total number of raw samples seen.
+	Samples int64
+	// NaNSamples counts non-finite (NaN/±Inf) samples, replaced by the
+	// last good value.
+	NaNSamples int64
+	// DroppedSamples counts exact-zero samples — the signature of
+	// digitizer dropouts/gaps (a Rician noise floor is almost surely
+	// nonzero, and even noise-free power-proxy captures stay strictly
+	// positive because of the core's baseline power).
+	DroppedSamples int64
+	// ClippedSamples counts flat-lined samples at the top of the range
+	// (ADC saturation).
+	ClippedSamples int64
+	// BurstSamples counts impulsive spikes implausibly far above the
+	// busy-level reference (RF interference).
+	BurstSamples int64
+	// StepSamples counts samples inside confirmed gain-step transition
+	// regions.
+	StepSamples int64
+	// Resyncs counts normalisation re-seeds: the min/max windows were
+	// reset after a long gap or a receiver gain discontinuity.
+	Resyncs int
+	// AbortedDips counts candidate dips discarded because an impairment
+	// overlapped them (each would otherwise risk becoming a phantom
+	// stall).
+	AbortedDips int
+}
+
+// Impaired returns the total impaired-sample tally across all classes.
+func (q Quality) Impaired() int64 {
+	return q.NaNSamples + q.DroppedSamples + q.ClippedSamples + q.BurstSamples + q.StepSamples
+}
+
+// UsableFraction is the fraction of samples unaffected by any detected
+// impairment (1 for an empty or clean capture).
+func (q Quality) UsableFraction() float64 {
+	if q.Samples == 0 {
+		return 1
+	}
+	u := 1 - float64(q.Impaired())/float64(q.Samples)
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// Clean reports whether no impairment of any kind was detected.
+func (q Quality) Clean() bool { return q.Impaired() == 0 && q.Resyncs == 0 }
+
+// String summarises the quality record.
+func (q Quality) String() string {
+	if q.Clean() {
+		return fmt.Sprintf("clean (%d samples)", q.Samples)
+	}
+	return fmt.Sprintf("%.2f%% usable (%d samples: %d NaN, %d dropped, %d clipped, %d burst, %d step; %d resyncs, %d aborted dips)",
+		100*q.UsableFraction(), q.Samples, q.NaNSamples, q.DroppedSamples,
+		q.ClippedSamples, q.BurstSamples, q.StepSamples, q.Resyncs, q.AbortedDips)
+}
+
+// qflag marks the impairment classes a sample belongs to.
+type qflag uint8
+
+const (
+	qNaN qflag = 1 << iota
+	qGap
+	qClip
+	qBurst
+	qStep
+)
+
+// qStructural are the impairments that invalidate dip evidence outright: a
+// dip overlapping one is aborted rather than reported, and no dip may
+// begin on such a sample. NaN and burst samples are reconstructed by
+// holding the last good value, so a dip may continue across them (at
+// reduced confidence).
+const qStructural = qGap | qClip | qStep
+
+// monitor is the causal signal-quality stage. All thresholds are derived
+// from the profiler configuration and sample rate so that the batch and
+// streaming analyzers construct identical monitors.
+type monitor struct {
+	// persist is both the busy-tracker window and the number of samples a
+	// gain-step condition must persist before a resync is declared. It is
+	// sized to 2.5× the refresh-stall ceiling so that even the longest
+	// genuine stall (which depresses the short moving max only after
+	// persist samples, and then only for its remaining duration) can
+	// never masquerade as a gain step.
+	persist int
+	// resyncGap is the dropout length at or beyond which the
+	// normalisation state is re-seeded when the gap ends.
+	resyncGap int
+	// clipRun is the flat-line run length that confirms saturation.
+	clipRun int
+	// half is the normalisation half-window; retroactive flagging is
+	// clamped below it so batch and stream apply identical retro flags.
+	half int
+
+	// stepRatio is the smax/ref band edge for gain-step suspicion. It is
+	// deliberately far above any workload-induced busy-level shift
+	// (phase changes move the envelope by up to ~2.2× in practice):
+	// gain changes below it are exactly what the moving min/max
+	// normalisation absorbs by design — a down-step of less than ~2.8×
+	// cannot push the busy level under the dip-entry threshold — so only
+	// steps large enough to fake a stall need an explicit resync.
+	stepRatio float64
+	burstK        float64 // spike threshold as a multiple of ref
+	clipMinFrac   float64 // flat-lines below this fraction of ref are ignored
+	refAlpha      float64 // busy-reference EMA coefficient
+	distinctAlpha float64 // EMA coefficient of the sample-distinctness arm
+
+	smax     *dsp.MovingExtremum // busy-level tracker (moving max, persist wide)
+	ref      float64             // busy-level reference
+	refReady bool
+	warm     int
+
+	lastGood float64
+	zeroRun  int
+	runVal   float64
+	runLen   int
+	// clipActive is set once the current flat-line run has been flagged,
+	// so the run's tail increments counters one sample at a time.
+	clipActive bool
+	stepDir    int
+	stepLen    int
+	// stepResyncPending delays a confirmed step's resync to the next
+	// position: the first post-reset normalisation stat is then read by
+	// the first retro-flagged decision, so a phantom dip induced by
+	// straddling stats is aborted rather than flushed one position early.
+	stepResyncPending bool
+	// sinceHigh counts samples since the raw input last exceeded the
+	// step band. The moving max holds an excursion for a full persist
+	// window after it ends; this distinguishes a live step (raw highs
+	// keep re-asserting) from a dead burst tail.
+	sinceHigh int
+	// distinct is an EMA of "this sample differs from the previous one".
+	// Noise-free captures (the SESC power proxy) legitimately flat-line
+	// on busy plateaus; the clip detector is armed only while the signal
+	// is demonstrably noisy, where consecutive equality cannot happen by
+	// chance.
+	distinct float64
+	prevX    float64
+	havePrev bool
+
+	q Quality
+}
+
+// newMonitor derives the quality-monitor parameters from the profiler
+// configuration and the acquisition sample rate.
+func newMonitor(cfg Config, sampleRate float64) *monitor {
+	win := int(cfg.NormWindowS * sampleRate)
+	if win < 8 {
+		win = 8
+	}
+	p := int(math.Ceil(2.5 * cfg.RefreshMinS * sampleRate))
+	if p < 4 {
+		p = 4
+	}
+	if p > 1<<14 {
+		p = 1 << 14
+	}
+	refWin := 2 * p
+	if w4 := win / 4; w4 > refWin {
+		refWin = w4
+	}
+	return &monitor{
+		persist:       p,
+		resyncGap:     max(8, win/16),
+		clipRun:       4,
+		half:          win / 2,
+		stepRatio: 2.5,
+		// burstK matches stepRatio so the two detectors partition all
+		// upward excursions: everything above the band is held out of the
+		// sanitised stream as a burst, while the raw value still drives
+		// gain-step tracking (see process). A gap between the thresholds
+		// would let a spike below burstK poison the moving max for a
+		// whole persist window and fake a step.
+		burstK:        2.5,
+		clipMinFrac:   0.5,
+		refAlpha:      1.0 / float64(refWin),
+		distinctAlpha: 1.0 / 256,
+		smax:          dsp.NewMovingMax(p),
+		distinct:      1,
+	}
+}
+
+// process consumes one raw sample and returns the sanitised value, the
+// impairment flags for this sample, how many immediately preceding samples
+// must retroactively receive the same flags (always < half, so pending
+// stream positions can still absorb them), and whether the normalisation
+// state must be re-seeded before this position is folded in.
+func (m *monitor) process(x float64) (y float64, fl qflag, retro int, resync bool) {
+	m.q.Samples++
+	if m.stepResyncPending {
+		resync = true
+		m.stepResyncPending = false
+	}
+
+	// Non-finite corruption: hold the last good value so a single NaN can
+	// no longer poison a full min/max window.
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		m.q.NaNSamples++
+		m.runLen, m.zeroRun = 0, 0
+		m.clipActive = false
+		y = m.lastGood
+		m.track(y)
+		return y, qNaN, 0, resync
+	}
+
+	// Exact-zero samples: dropped by the digitizer (gaps are zero-filled).
+	if x == 0 {
+		m.zeroRun++
+		m.q.DroppedSamples++
+		m.runLen = 0
+		m.clipActive = false
+		y = m.lastGood
+		m.track(y)
+		return y, qGap, 0, resync
+	}
+	if m.zeroRun >= m.resyncGap {
+		// A long gap just ended: the coupling or gain may have moved while
+		// we were blind, so re-seed the normalisation windows here.
+		resync = true
+		m.q.Resyncs++
+	}
+	m.zeroRun = 0
+
+	// Distinctness arm for the flat-line detector.
+	if m.havePrev {
+		d := 0.0
+		if x != m.prevX {
+			d = 1
+		}
+		m.distinct += m.distinctAlpha * (d - m.distinct)
+	}
+	m.prevX, m.havePrev = x, true
+
+	// Flat-line run at the top of the range: ADC saturation. Runs near the
+	// signal floor are left alone — a noise-free stall legitimately sits
+	// at a constant level.
+	if x == m.runVal {
+		m.runLen++
+	} else {
+		m.runVal, m.runLen = x, 1
+		m.clipActive = false
+	}
+	if m.refReady && m.distinct > 0.9 && m.runLen >= m.clipRun && x >= m.clipMinFrac*m.ref {
+		fl |= qClip
+		if !m.clipActive {
+			retro = m.runLen - 1
+			if retro > m.half-1 {
+				retro = m.half - 1
+			}
+			m.q.ClippedSamples += int64(retro) + 1
+			m.clipActive = true
+		} else {
+			m.q.ClippedSamples++
+		}
+	}
+
+	// An excursion implausibly far above the busy level: an impulsive RF
+	// burst, or the onset of an upward gain step. The sample is held so
+	// neither the normalisation windows nor the sanitised stream are
+	// poisoned, but the RAW value still drives the busy tracker: a
+	// transient excursion can never confirm a step (track's raw-high
+	// recency gate), while a sustained one re-references within a persist
+	// window and then passes normally against the new reference.
+	if m.refReady && x > m.burstK*m.ref && fl == 0 {
+		m.q.BurstSamples++
+		y = m.lastGood
+		fl = qBurst
+		if stepped, stepRetro := m.track(x); stepped {
+			m.stepResyncPending = true
+			fl |= qStep
+			retro = stepRetro
+		}
+		return y, fl, retro, resync
+	}
+
+	y = x
+	m.lastGood = y
+	if stepped, stepRetro := m.track(y); stepped {
+		// The resync itself is deferred to the next position (see
+		// stepResyncPending); this position and the trailing half-window
+		// carry the step flag now.
+		m.stepResyncPending = true
+		fl |= qStep
+		retro = stepRetro
+	}
+	return y, fl, retro, resync
+}
+
+// track feeds the busy-level tracker with a sanitised sample and runs
+// gain-step detection: a sustained departure of the short moving max from
+// the busy reference in either direction is a receiver gain discontinuity
+// (dips never move the max; the reference EMA absorbs slow drift).
+func (m *monitor) track(y float64) (resync bool, retro int) {
+	sm := m.smax.Process(y)
+	if !m.refReady {
+		m.warm++
+		if m.warm >= m.persist {
+			m.ref = sm
+			m.refReady = true
+		}
+		return false, 0
+	}
+	if m.ref <= 0 {
+		m.ref = sm
+		return false, 0
+	}
+	if y > m.stepRatio*m.ref {
+		m.sinceHigh = 0
+	} else if m.sinceHigh < 1<<30 {
+		m.sinceHigh++
+	}
+	ratio := sm / m.ref
+	dir := 0
+	if ratio > m.stepRatio {
+		dir = 1
+	} else if ratio < 1/m.stepRatio {
+		dir = -1
+	}
+	// An up-candidacy whose raw highs stopped more than half a persist
+	// window ago is a dead excursion the moving max is still holding (a
+	// burst tail), not a gain step: drop it and leave the reference
+	// untouched. A genuine step re-asserts raw highs at least once per
+	// stall, and stalls are bounded by 0.4 persist (RefreshMinS).
+	if dir == 1 && m.sinceHigh > m.persist/2 {
+		m.stepDir, m.stepLen = 0, 0
+		return false, 0
+	}
+	switch {
+	case dir == 0:
+		m.stepDir, m.stepLen = 0, 0
+		m.ref += m.refAlpha * (sm - m.ref)
+	case dir == m.stepDir:
+		m.stepLen++
+	default:
+		m.stepDir, m.stepLen = dir, 1
+	}
+	if m.stepLen >= m.persist {
+		m.q.Resyncs++
+		// Flag the whole trailing half-window, not just the transition:
+		// every position decided against stats that straddle the
+		// discontinuity is unreliable. An up-step in particular inflates
+		// the moving max seen by the preceding half-window, which would
+		// otherwise read as a deep phantom dip ending at the resync.
+		retro = m.half - 1
+		if retro < 0 {
+			retro = 0
+		}
+		m.q.StepSamples += int64(retro) + 1
+		m.ref = sm
+		m.stepDir, m.stepLen = 0, 0
+		return true, retro
+	}
+	return false, 0
+}
+
+// scan runs the monitor over a whole capture (the batch path): it returns
+// the sanitised copy of the samples, the per-sample impairment mask (nil
+// when the capture is clean), and the positions at which the normalisation
+// state must be re-seeded.
+func (m *monitor) scan(samples []float64) (san []float64, mask []qflag, resyncs []int) {
+	san = make([]float64, len(samples))
+	for i, x := range samples {
+		y, fl, retro, rs := m.process(x)
+		san[i] = y
+		if fl != 0 {
+			if mask == nil {
+				mask = make([]qflag, len(samples))
+			}
+			mask[i] |= fl
+			for k := 1; k <= retro && i-k >= 0; k++ {
+				mask[i-k] |= fl
+			}
+		}
+		if rs {
+			resyncs = append(resyncs, i)
+		}
+	}
+	return san, mask, resyncs
+}
+
+// detector is the dip state machine shared by the batch and streaming
+// analyzers. It consumes one normalised value per position together with
+// that position's impairment flags and the normalisation stats in force,
+// and emits Stalls with confidence annotations into the profile.
+type detector struct {
+	cfg        Config
+	sampleRate float64
+	clockHz    float64
+	minSamples float64
+	half       int
+
+	inDip            bool
+	start            int64
+	depth            float64
+	entryLo, entryHi float64
+	lastImpaired     int64
+
+	prof    *Profile
+	q       *Quality
+	onStall func(Stall)
+}
+
+// newDetector builds the shared dip detector; half is the normalisation
+// half-window in samples (used only for confidence distance scaling).
+func newDetector(cfg Config, sampleRate, clockHz float64, half int, prof *Profile, q *Quality, onStall func(Stall)) *detector {
+	return &detector{
+		cfg:          cfg,
+		sampleRate:   sampleRate,
+		clockHz:      clockHz,
+		minSamples:   cfg.MinStallS * sampleRate,
+		half:         half,
+		depth:        math.Inf(1),
+		lastImpaired: math.MinInt64 / 2,
+		prof:         prof,
+		q:            q,
+		onStall:      onStall,
+	}
+}
+
+// decide processes the normalised value v of position i with impairment
+// flags fl and the (lo, hi) normalisation stats used for it.
+func (d *detector) decide(i int64, v float64, fl qflag, lo, hi float64) {
+	if fl != 0 {
+		d.lastImpaired = i
+		if fl&qStructural != 0 {
+			// The sample carries no dip evidence: suppress entry, and
+			// abort rather than report a dip that spans the impairment.
+			if d.inDip {
+				d.inDip = false
+				d.depth = math.Inf(1)
+				d.q.AbortedDips++
+			}
+			return
+		}
+	}
+	if !d.inDip {
+		if v < d.cfg.EnterThreshold {
+			d.inDip = true
+			d.start = i
+			d.depth = v
+			d.entryLo, d.entryHi = lo, hi
+		}
+		return
+	}
+	if v < d.depth {
+		d.depth = v
+	}
+	if v > d.cfg.ExitThreshold {
+		d.flush(i)
+		d.inDip = false
+		d.depth = math.Inf(1)
+	}
+}
+
+// finish closes any dip still open at end-of-signal position end.
+func (d *detector) finish(end int64) {
+	if d.inDip {
+		d.flush(end)
+		d.inDip = false
+	}
+}
+
+// flush closes the current dip ending (exclusive) at position end and
+// reports it if it passes the duration and depth criteria.
+func (d *detector) flush(end int64) {
+	durSamples := end - d.start
+	durS := float64(durSamples) / d.sampleRate
+	if float64(durSamples) < d.minSamples {
+		return
+	}
+	maxDepth := d.cfg.MaxDipDepth
+	if durS >= d.cfg.LongStallS {
+		maxDepth = d.cfg.MaxDipDepthLong
+	}
+	if d.depth > maxDepth {
+		return
+	}
+	st := Stall{
+		StartSample: int(d.start),
+		EndSample:   int(end),
+		StartS:      float64(d.start) / d.sampleRate,
+		DurationS:   durS,
+		Cycles:      durS * d.clockHz,
+		Depth:       d.depth,
+		Refresh:     durS >= d.cfg.RefreshMinS,
+		Confidence:  d.confidence(maxDepth),
+	}
+	d.prof.Stalls = append(d.prof.Stalls, st)
+	if st.Refresh {
+		d.prof.RefreshStalls++
+	} else {
+		d.prof.Misses++
+	}
+	d.prof.StallCycles += st.Cycles
+	if d.onStall != nil {
+		d.onStall(st)
+	}
+}
+
+// confidence scores the dip being flushed in [0, 1] from three margins:
+// how far below the depth threshold its floor reached, how much
+// normalisation contrast (a local-SNR proxy) the surrounding window had,
+// and how far the dip sits from the nearest detected impairment.
+func (d *detector) confidence(maxDepth float64) float64 {
+	depthTerm := clamp01((maxDepth - d.depth) / maxDepth)
+	contrast := 0.0
+	if d.entryHi > 0 {
+		rangeFrac := (d.entryHi - d.entryLo) / d.entryHi
+		contrast = clamp01((rangeFrac - d.cfg.MinRangeFrac) / (1 - d.cfg.MinRangeFrac))
+	}
+	cleanTerm := 1.0
+	if d.half > 0 {
+		dist := d.start - d.lastImpaired
+		if dist < 0 {
+			dist = 0
+		}
+		cleanTerm = clamp01(float64(dist) / float64(d.half))
+	}
+	return 0.45*depthTerm + 0.30*contrast + 0.25*cleanTerm
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

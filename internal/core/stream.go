@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"emprof/internal/dsp"
 	"emprof/internal/em"
 )
@@ -14,10 +12,28 @@ import (
 // to a streaming digitizer, Section VI). Push samples with Push, then
 // call Finalize for the profile. Its output matches Analyzer.Profile on
 // the same capture.
+//
+// Every pushed sample first passes through the same causal signal-quality
+// monitor the batch analyzer uses: corrupt and dropped samples are
+// sanitised, gain discontinuities re-seed the normalisation windows, and
+// impairment flags ride alongside each position so the dip detector can
+// suppress phantom stalls. Because the monitor is causal and identically
+// constructed, batch and streaming remain equivalent under faults too.
 type StreamAnalyzer struct {
 	cfg        Config
 	sampleRate float64
 	clockHz    float64
+
+	// Quality monitor stage (runs on raw samples, before smoothing).
+	mon *monitor
+	// flagBuf holds the impairment flags of positions not yet decided;
+	// flagBuf[0] belongs to the next position decide will consume.
+	flagBuf []qflag
+	// resyncAt holds positions at which the min/max state must be reset
+	// before that position is folded in.
+	resyncAt []int64
+	// fed counts positions folded into the min/max windows so far.
+	fed int64
 
 	// Smoothing stage with centre compensation: the moving average of
 	// input j describes position j-lead.
@@ -36,12 +52,9 @@ type StreamAnalyzer struct {
 	pending []float64
 
 	// Detection state.
-	n          int64 // raw samples pushed
-	emitted    int64 // positions decided
-	minSamples float64
-	inDip      bool
-	dipStart   int64
-	depth      float64
+	n       int64 // raw samples pushed
+	emitted int64 // positions decided
+	det     *detector
 
 	prof *Profile
 	// OnStall, when set, is invoked for each detected stall as soon as
@@ -62,11 +75,11 @@ func NewStreamAnalyzer(cfg Config, sampleRate, clockHz float64) (*StreamAnalyzer
 		cfg:        cfg,
 		sampleRate: sampleRate,
 		clockHz:    clockHz,
+		mon:        newMonitor(cfg, sampleRate),
 		prof: &Profile{
 			SampleRate: sampleRate,
 			ClockHz:    clockHz,
 		},
-		depth: math.Inf(1),
 	}
 	w := int(cfg.NormWindowS * sampleRate)
 	if w < 8 {
@@ -80,32 +93,58 @@ func NewStreamAnalyzer(cfg Config, sampleRate, clockHz float64) (*StreamAnalyzer
 		s.smoother = dsp.NewMovingAverage(cfg.SmoothSamples)
 		s.lead = (cfg.SmoothSamples - 1) / 2
 	}
-	s.minSamples = cfg.MinStallS * sampleRate
+	s.det = newDetector(cfg, sampleRate, clockHz, s.half, s.prof, &s.mon.q, func(st Stall) {
+		if s.OnStall != nil {
+			s.OnStall(st)
+		}
+	})
 	return s, nil
 }
 
 // Push feeds one magnitude sample.
 func (s *StreamAnalyzer) Push(x float64) {
+	p := s.n
 	s.n++
+	y, fl, retro, rs := s.mon.process(x)
+	s.flagBuf = append(s.flagBuf, fl)
+	if fl != 0 {
+		for k := 1; k <= retro; k++ {
+			idx := len(s.flagBuf) - 1 - k
+			if idx < 0 {
+				break
+			}
+			s.flagBuf[idx] |= fl
+		}
+	}
+	if rs {
+		s.resyncAt = append(s.resyncAt, p)
+	}
 	if s.smoother == nil {
-		s.feedPosition(x)
+		s.feedPosition(y)
 		return
 	}
-	y := s.smoother.Process(x)
+	sm := s.smoother.Process(y)
 	if len(s.smTail) == s.lead+1 {
 		copy(s.smTail, s.smTail[1:])
 		s.smTail = s.smTail[:s.lead]
 	}
-	s.smTail = append(s.smTail, y)
+	s.smTail = append(s.smTail, sm)
 	// The smoothed value for position n-1-lead is available now.
 	if s.n > int64(s.lead) {
-		s.feedPosition(y)
+		s.feedPosition(sm)
 	}
 }
 
 // feedPosition advances the normalisation stage with the smoothed value
-// of the next position.
+// of the next position, resetting the window state first if the quality
+// monitor requested a resync at this position.
 func (s *StreamAnalyzer) feedPosition(x float64) {
+	if len(s.resyncAt) > 0 && s.resyncAt[0] == s.fed {
+		s.mmin.Reset()
+		s.mmax.Reset()
+		s.resyncAt = s.resyncAt[1:]
+	}
+	s.fed++
 	s.lastMin = s.mmin.Process(x)
 	s.lastMax = s.mmax.Process(x)
 	s.haveStats = true
@@ -123,6 +162,11 @@ func (s *StreamAnalyzer) feedPosition(x float64) {
 func (s *StreamAnalyzer) decide(x float64) {
 	i := s.emitted
 	s.emitted++
+	var fl qflag
+	if len(s.flagBuf) > 0 {
+		fl = s.flagBuf[0]
+		s.flagBuf = s.flagBuf[1:]
+	}
 	lo, hi := s.lastMin, s.lastMax
 	r := hi - lo
 	var v float64
@@ -137,58 +181,7 @@ func (s *StreamAnalyzer) decide(x float64) {
 			v = 1
 		}
 	}
-
-	if !s.inDip {
-		if v < s.cfg.EnterThreshold {
-			s.inDip = true
-			s.dipStart = i
-			s.depth = v
-		}
-		return
-	}
-	if v < s.depth {
-		s.depth = v
-	}
-	if v > s.cfg.ExitThreshold {
-		s.flush(i)
-		s.inDip = false
-		s.depth = math.Inf(1)
-	}
-}
-
-// flush closes the current dip ending (exclusive) at position end.
-func (s *StreamAnalyzer) flush(end int64) {
-	durSamples := end - s.dipStart
-	durS := float64(durSamples) / s.sampleRate
-	if float64(durSamples) < s.minSamples {
-		return
-	}
-	maxDepth := s.cfg.MaxDipDepth
-	if durS >= s.cfg.LongStallS {
-		maxDepth = s.cfg.MaxDipDepthLong
-	}
-	if s.depth > maxDepth {
-		return
-	}
-	st := Stall{
-		StartSample: int(s.dipStart),
-		EndSample:   int(end),
-		StartS:      float64(s.dipStart) / s.sampleRate,
-		DurationS:   durS,
-		Cycles:      durS * s.clockHz,
-		Depth:       s.depth,
-		Refresh:     durS >= s.cfg.RefreshMinS,
-	}
-	s.prof.Stalls = append(s.prof.Stalls, st)
-	if st.Refresh {
-		s.prof.RefreshStalls++
-	} else {
-		s.prof.Misses++
-	}
-	s.prof.StallCycles += st.Cycles
-	if s.OnStall != nil {
-		s.OnStall(st)
-	}
+	s.det.decide(i, v, fl, lo, hi)
 }
 
 // Finalize drains the pipeline and returns the profile. The analyzer must
@@ -217,13 +210,15 @@ func (s *StreamAnalyzer) Finalize() *Profile {
 		s.pending = s.pending[1:]
 		s.decide(v)
 	}
-	if s.inDip {
-		s.flush(s.emitted)
-		s.inDip = false
-	}
+	s.det.finish(s.emitted)
 	s.prof.ExecCycles = float64(s.n) * (s.clockHz / s.sampleRate)
+	s.prof.Quality = s.mon.q
 	return s.prof
 }
+
+// Quality returns a snapshot of the signal-quality record accumulated so
+// far; it is also available on the profile after Finalize.
+func (s *StreamAnalyzer) Quality() Quality { return s.mon.q }
 
 // ProfileStream runs the streaming analyzer over a whole capture; it is
 // the streaming counterpart of Analyzer.Profile and produces the same

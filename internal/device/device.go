@@ -10,6 +10,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"emprof/internal/cpu"
 	"emprof/internal/mem"
@@ -258,16 +259,17 @@ func All() []Device {
 	return []Device{Alcatel(), Samsung(), Olimex()}
 }
 
-// ByName returns the named device configuration.
+// ByName returns the named device configuration. The match is
+// case-insensitive over the whole name.
 func ByName(name string) (Device, error) {
-	switch name {
-	case "alcatel", "Alcatel":
+	switch {
+	case strings.EqualFold(name, "alcatel"):
 		return Alcatel(), nil
-	case "samsung", "Samsung":
+	case strings.EqualFold(name, "samsung"):
 		return Samsung(), nil
-	case "olimex", "Olimex":
+	case strings.EqualFold(name, "olimex"):
 		return Olimex(), nil
-	case "sesc", "SESC":
+	case strings.EqualFold(name, "sesc"):
 		return SESC(), nil
 	default:
 		return Device{}, fmt.Errorf("device: unknown device %q", name)

@@ -78,13 +78,31 @@ func TestSESCConfig(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, n := range []string{"alcatel", "Samsung", "olimex", "SESC"} {
-		if _, err := ByName(n); err != nil {
-			t.Errorf("ByName(%q): %v", n, err)
+	// Fully case-insensitive over all four device names.
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"alcatel", "Alcatel"}, {"Alcatel", "Alcatel"}, {"ALCATEL", "Alcatel"}, {"aLcAtEl", "Alcatel"},
+		{"samsung", "Samsung"}, {"Samsung", "Samsung"}, {"SAMSUNG", "Samsung"}, {"sAmSuNg", "Samsung"},
+		{"olimex", "Olimex"}, {"Olimex", "Olimex"}, {"OLIMEX", "Olimex"}, {"oLiMeX", "Olimex"},
+		{"sesc", "SESC"}, {"SESC", "SESC"}, {"Sesc", "SESC"}, {"sEsC", "SESC"},
+	}
+	for _, tc := range cases {
+		d, err := ByName(tc.in)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", tc.in, err)
+			continue
+		}
+		if d.Name != tc.want {
+			t.Errorf("ByName(%q) = %q, want %q", tc.in, d.Name, tc.want)
 		}
 	}
 	if _, err := ByName("nexus"); err == nil {
 		t.Error("unknown device accepted")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Error("empty name accepted")
 	}
 }
 

@@ -57,7 +57,22 @@ func (c *Capture) CyclesPerSample() float64 {
 	return c.ClockHz / c.SampleRate
 }
 
+// Clone returns a deep copy of the capture: the returned Samples slice
+// has its own backing array, so mutating either capture never affects the
+// other. Fault injection (internal/faults) always operates on clones.
+func (c *Capture) Clone() *Capture {
+	return &Capture{
+		Samples:    append([]float64(nil), c.Samples...),
+		SampleRate: c.SampleRate,
+		ClockHz:    c.ClockHz,
+	}
+}
+
 // Slice returns a sub-capture covering sample indices [lo, hi).
+//
+// The returned capture ALIASES the receiver's backing array — writes to
+// either capture's samples in the shared range are visible through both.
+// Use Clone (or Slice(...).Clone()) when an independent copy is needed.
 func (c *Capture) Slice(lo, hi int) *Capture {
 	if lo < 0 {
 		lo = 0

@@ -202,6 +202,31 @@ func TestCaptureHelpers(t *testing.T) {
 	}
 }
 
+func TestSliceAliasesAndCloneCopies(t *testing.T) {
+	c := &Capture{Samples: []float64{0, 1, 2, 3, 4}, SampleRate: 50e6, ClockHz: 1e9}
+
+	// Slice is documented to alias the parent's backing array.
+	sl := c.Slice(1, 4)
+	sl.Samples[0] = 99
+	if c.Samples[1] != 99 {
+		t.Fatal("Slice must alias the parent samples")
+	}
+
+	// Clone must be fully independent in both directions.
+	cl := c.Clone()
+	if cl.SampleRate != c.SampleRate || cl.ClockHz != c.ClockHz || len(cl.Samples) != len(c.Samples) {
+		t.Fatal("Clone metadata/length mismatch")
+	}
+	cl.Samples[0] = -1
+	if c.Samples[0] != 0 {
+		t.Fatal("mutating the clone changed the original")
+	}
+	c.Samples[2] = -2
+	if cl.Samples[2] == -2 {
+		t.Fatal("mutating the original changed the clone")
+	}
+}
+
 func TestSynthesizeFromSeries(t *testing.T) {
 	series := []float64{1, 1, 0, 0, 1, 1}
 	cap, err := SynthesizeFromSeries(series, 20, cleanConfig())

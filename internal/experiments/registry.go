@@ -35,8 +35,10 @@ var Registry = map[string]Runner{
 	"fig13":  wrap(RunFig13),
 	"fig14":  wrap(RunAttribution),
 	"perf":   wrap(RunPerfBaseline),
-	// stability is this repository's extension: EMPROF vs perf variance.
-	"stability": wrap(RunStability),
+	// stability and robustness are this repository's extensions: EMPROF vs
+	// perf variance, and miss-count accuracy under acquisition faults.
+	"stability":  wrap(RunStability),
+	"robustness": wrap(RunRobustness),
 }
 
 // Names returns the registry keys in sorted order.

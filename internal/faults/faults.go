@@ -1,0 +1,350 @@
+// Package faults injects acquisition impairments into EM captures: the
+// ways a real probe + digitizer chain breaks that the clean synthesis in
+// internal/em does not model. Each impairment is composable, independently
+// switchable, and fully deterministic under a seed, so robustness tests
+// and experiments are reproducible bit-for-bit.
+//
+// The modelled impairment classes, in the order they are applied to each
+// sample:
+//
+//  1. discrete receiver gain steps (AGC relocking, attenuator switches);
+//  2. slow probe-coupling drift, an Ornstein–Uhlenbeck gain process —
+//     rougher than internal/em's sinusoidal supply drift, standing in for
+//     a probe physically moving relative to the device;
+//  3. impulsive RF bursts (nearby transmitters, motor ignition) added at
+//     a multiple of the local signal level;
+//  4. ADC saturation: magnitudes clamped to a fixed ceiling;
+//  5. sample dropouts: the digitizer loses runs of samples, which appear
+//     zero-filled in the record;
+//  6. outright corruption: samples replaced by NaN (transfer errors).
+//
+// Injection never mutates the input capture: Apply clones first (see
+// em.Capture.Clone). The Injector form processes one sample at a time and
+// can sit inside a streaming acquisition chain.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"emprof/internal/em"
+	"emprof/internal/sim"
+)
+
+// Spec selects and parameterises the impairments. The zero value injects
+// nothing.
+type Spec struct {
+	// DropoutRate is the expected fraction of samples lost to dropouts
+	// (zero-filled gaps), in [0, 1). DropoutMeanLen is the mean gap
+	// length in samples (default 64).
+	DropoutRate    float64
+	DropoutMeanLen float64
+
+	// ClipLevel, when > 0, clamps every magnitude to at most this value
+	// (ADC full scale).
+	ClipLevel float64
+
+	// GainStepsPerS is the expected number of discrete receiver gain
+	// steps per second. Each step multiplies the gain by a factor drawn
+	// uniformly in [GainStepMin, GainStepMax] (defaults 3–5), inverted
+	// with probability ½ so the gain random-walks both up and down.
+	GainStepsPerS float64
+	GainStepMin   float64
+	GainStepMax   float64
+
+	// DriftDepth, when > 0, enables Ornstein–Uhlenbeck probe-coupling
+	// drift: a zero-mean gain modulation with stationary deviation about
+	// DriftDepth/2 and correlation time DriftTauS seconds (default 10 ms),
+	// clamped to ±DriftDepth. DriftDepth must lie in [0, 1).
+	DriftDepth float64
+	DriftTauS  float64
+
+	// BurstRate is the expected fraction of samples hit by impulsive RF
+	// bursts, BurstMeanLen the mean burst length in samples (default 3),
+	// and BurstAmp the burst amplitude as a multiple of the running
+	// signal level (default 6).
+	BurstRate    float64
+	BurstMeanLen float64
+	BurstAmp     float64
+
+	// NaNRate is the per-sample probability of corruption to NaN.
+	NaNRate float64
+
+	// Seed drives all randomness; the same spec + seed + input always
+	// produces the same output.
+	Seed uint64
+}
+
+// withDefaults fills unset secondary parameters.
+func (s Spec) withDefaults() Spec {
+	if s.DropoutMeanLen <= 0 {
+		s.DropoutMeanLen = 64
+	}
+	if s.GainStepMin <= 0 {
+		s.GainStepMin = 3
+	}
+	if s.GainStepMax <= 0 {
+		s.GainStepMax = 5
+	}
+	if s.DriftTauS <= 0 {
+		s.DriftTauS = 10e-3
+	}
+	if s.BurstMeanLen <= 0 {
+		s.BurstMeanLen = 3
+	}
+	if s.BurstAmp <= 0 {
+		s.BurstAmp = 6
+	}
+	return s
+}
+
+// Validate checks the spec (after defaulting).
+func (s Spec) Validate() error {
+	d := s.withDefaults()
+	if d.DropoutRate < 0 || d.DropoutRate >= 1 {
+		return fmt.Errorf("faults: dropout rate %v out of [0, 1)", d.DropoutRate)
+	}
+	if d.DropoutMeanLen < 1 {
+		return fmt.Errorf("faults: dropout mean length %v < 1", d.DropoutMeanLen)
+	}
+	if d.ClipLevel < 0 {
+		return fmt.Errorf("faults: clip level %v < 0", d.ClipLevel)
+	}
+	if d.GainStepsPerS < 0 {
+		return fmt.Errorf("faults: gain step rate %v < 0", d.GainStepsPerS)
+	}
+	if d.GainStepMin < 1 || d.GainStepMax < d.GainStepMin {
+		return fmt.Errorf("faults: gain step factors [%v, %v] invalid (need 1 <= min <= max)", d.GainStepMin, d.GainStepMax)
+	}
+	if d.DriftDepth < 0 || d.DriftDepth >= 1 {
+		return fmt.Errorf("faults: drift depth %v out of [0, 1)", d.DriftDepth)
+	}
+	if d.BurstRate < 0 || d.BurstRate >= 1 {
+		return fmt.Errorf("faults: burst rate %v out of [0, 1)", d.BurstRate)
+	}
+	if d.BurstMeanLen < 1 {
+		return fmt.Errorf("faults: burst mean length %v < 1", d.BurstMeanLen)
+	}
+	if d.NaNRate < 0 || d.NaNRate >= 1 {
+		return fmt.Errorf("faults: NaN rate %v out of [0, 1)", d.NaNRate)
+	}
+	return nil
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.DropoutRate > 0 || s.ClipLevel > 0 || s.GainStepsPerS > 0 ||
+		s.DriftDepth > 0 || s.BurstRate > 0 || s.NaNRate > 0
+}
+
+// EventKind labels one injected impairment event.
+type EventKind string
+
+const (
+	EventDropout  EventKind = "dropout"
+	EventGainStep EventKind = "gain-step"
+	EventBurst    EventKind = "burst"
+)
+
+// Event records one injected impairment: a sample range [Start, End) and,
+// for gain steps, the multiplicative factor applied from Start onwards.
+type Event struct {
+	Kind       EventKind
+	Start, End int
+	Factor     float64
+}
+
+// Report tallies everything an Injector did, for ground-truth comparison
+// against the profiler's recovered Quality record.
+type Report struct {
+	// Events lists dropouts, gain steps and bursts in time order.
+	Events []Event
+	// Per-class sample counts.
+	DroppedSamples int
+	ClippedSamples int
+	BurstSamples   int
+	CorruptSamples int
+	// FinalGain is the cumulative gain-step factor at the end of the run
+	// (1 when no step fired).
+	FinalGain float64
+}
+
+// String summarises the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("%d events (%d dropped, %d clipped, %d burst, %d NaN samples; final gain %.3g)",
+		len(r.Events), r.DroppedSamples, r.ClippedSamples, r.BurstSamples, r.CorruptSamples, r.FinalGain)
+}
+
+// Injector applies a Spec to a sample stream, one magnitude at a time.
+type Injector struct {
+	spec Spec
+	rng  *sim.RNG
+
+	// per-sample start probabilities and geometric continuation params
+	pDrop, pBurst, pStep, pNaN float64
+	contDrop, contBurst        float64
+
+	gain float64 // cumulative gain-step factor
+
+	// OU drift state
+	drift      float64
+	driftDecay float64
+	driftSigma float64
+
+	// running signal-level EMA (post-gain), scales burst amplitude
+	level     float64
+	haveLevel bool
+
+	dropLeft, burstLeft int
+	n                   int // samples processed
+
+	rep Report
+}
+
+// NewInjector builds an injector for a stream at the given sample rate.
+func NewInjector(spec Spec, sampleRate float64) (*Injector, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("faults: sample rate %v <= 0", sampleRate)
+	}
+	s := spec.withDefaults()
+	inj := &Injector{
+		spec: s,
+		rng:  sim.NewRNG(s.Seed ^ 0xfa017ab1e),
+		gain: 1,
+		rep:  Report{FinalGain: 1},
+	}
+	// A gap of mean length L covering fraction R of samples starts with
+	// per-sample probability R/L (outside a gap); likewise for bursts.
+	inj.pDrop = s.DropoutRate / s.DropoutMeanLen
+	inj.contDrop = 1 / s.DropoutMeanLen
+	inj.pBurst = s.BurstRate / s.BurstMeanLen
+	inj.contBurst = 1 / s.BurstMeanLen
+	inj.pStep = s.GainStepsPerS / sampleRate
+	inj.pNaN = s.NaNRate
+	if s.DriftDepth > 0 {
+		tau := s.DriftTauS * sampleRate // correlation time in samples
+		if tau < 1 {
+			tau = 1
+		}
+		inj.driftDecay = 1 / tau
+		// Stationary std DriftDepth/2 for the discretised OU process.
+		inj.driftSigma = (s.DriftDepth / 2) * math.Sqrt(2/tau)
+	}
+	return inj, nil
+}
+
+// Process applies the impairment chain to one magnitude sample.
+func (inj *Injector) Process(x float64) float64 {
+	i := inj.n
+	inj.n++
+
+	// 1. Discrete receiver gain step.
+	if inj.pStep > 0 && inj.rng.Float64() < inj.pStep {
+		f := inj.spec.GainStepMin + (inj.spec.GainStepMax-inj.spec.GainStepMin)*inj.rng.Float64()
+		if inj.rng.Float64() < 0.5 {
+			f = 1 / f
+		}
+		inj.gain *= f
+		inj.rep.FinalGain = inj.gain
+		inj.rep.Events = append(inj.rep.Events, Event{Kind: EventGainStep, Start: i, End: i, Factor: f})
+	}
+
+	// 2. OU probe-coupling drift.
+	g := inj.gain
+	if inj.driftSigma > 0 {
+		inj.drift += -inj.driftDecay*inj.drift + inj.driftSigma*inj.rng.NormFloat64()
+		if d := inj.spec.DriftDepth; inj.drift > d {
+			inj.drift = d
+		} else if inj.drift < -d {
+			inj.drift = -d
+		}
+		g *= 1 + inj.drift
+	}
+	x *= g
+
+	// Running level estimate for burst scaling (finite samples only).
+	if !math.IsNaN(x) && !math.IsInf(x, 0) {
+		if !inj.haveLevel {
+			inj.level, inj.haveLevel = x, true
+		} else {
+			inj.level += (x - inj.level) / 256
+		}
+	}
+
+	// 3. Impulsive RF burst.
+	if inj.burstLeft > 0 {
+		inj.burstLeft--
+		x += inj.spec.BurstAmp * inj.level * (0.5 + math.Abs(inj.rng.NormFloat64()))
+		inj.rep.BurstSamples++
+		inj.lastEvent(EventBurst).End = i + 1
+	} else if inj.pBurst > 0 && inj.rng.Float64() < inj.pBurst {
+		inj.burstLeft = inj.rng.Geometric(inj.contBurst)
+		x += inj.spec.BurstAmp * inj.level * (0.5 + math.Abs(inj.rng.NormFloat64()))
+		inj.rep.BurstSamples++
+		inj.rep.Events = append(inj.rep.Events, Event{Kind: EventBurst, Start: i, End: i + 1})
+	}
+
+	// 4. ADC saturation.
+	if lv := inj.spec.ClipLevel; lv > 0 && x > lv {
+		x = lv
+		inj.rep.ClippedSamples++
+	}
+
+	// 5. Digitizer dropout (zero-filled).
+	if inj.dropLeft > 0 {
+		inj.dropLeft--
+		inj.rep.DroppedSamples++
+		inj.lastEvent(EventDropout).End = i + 1
+		return 0
+	}
+	if inj.pDrop > 0 && inj.rng.Float64() < inj.pDrop {
+		inj.dropLeft = inj.rng.Geometric(inj.contDrop)
+		inj.rep.DroppedSamples++
+		inj.rep.Events = append(inj.rep.Events, Event{Kind: EventDropout, Start: i, End: i + 1})
+		return 0
+	}
+
+	// 6. Corruption.
+	if inj.pNaN > 0 && inj.rng.Float64() < inj.pNaN {
+		inj.rep.CorruptSamples++
+		return math.NaN()
+	}
+	return x
+}
+
+// lastEvent returns the most recent event of the given kind so an ongoing
+// run can extend its End. It assumes such an event exists (the run was
+// opened when the event was appended).
+func (inj *Injector) lastEvent(kind EventKind) *Event {
+	for j := len(inj.rep.Events) - 1; j >= 0; j-- {
+		if inj.rep.Events[j].Kind == kind {
+			return &inj.rep.Events[j]
+		}
+	}
+	panic("faults: no open event of kind " + string(kind))
+}
+
+// Report returns the impairments injected so far. The returned value
+// shares the Events slice with the injector; inject everything first.
+func (inj *Injector) Report() *Report {
+	r := inj.rep
+	return &r
+}
+
+// Apply injects the spec into a copy of the capture and returns the
+// impaired copy plus a ground-truth report. The input capture is never
+// modified.
+func Apply(c *em.Capture, spec Spec) (*em.Capture, *Report, error) {
+	inj, err := NewInjector(spec, c.SampleRate)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := c.Clone()
+	for i, x := range out.Samples {
+		out.Samples[i] = inj.Process(x)
+	}
+	return out, inj.Report(), nil
+}

@@ -1,0 +1,257 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"emprof/internal/em"
+	"emprof/internal/sim"
+)
+
+func testCapture(n int, seed uint64) *em.Capture {
+	rng := sim.NewRNG(seed)
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1 + 0.05*rng.NormFloat64()
+		if s[i] <= 0 {
+			s[i] = 0.01
+		}
+	}
+	return &em.Capture{Samples: s, SampleRate: 40e6, ClockHz: 1e9}
+}
+
+func TestZeroSpecIsIdentity(t *testing.T) {
+	c := testCapture(5000, 1)
+	out, rep, err := Apply(c, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (Spec{}).Enabled() {
+		t.Fatal("zero spec reports Enabled")
+	}
+	for i := range c.Samples {
+		if out.Samples[i] != c.Samples[i] {
+			t.Fatalf("sample %d changed under zero spec", i)
+		}
+	}
+	if len(rep.Events) != 0 || rep.DroppedSamples != 0 || rep.FinalGain != 1 {
+		t.Fatalf("zero spec produced report %v", rep)
+	}
+}
+
+func TestApplyDeterministicAndNonMutating(t *testing.T) {
+	c := testCapture(20000, 2)
+	orig := append([]float64(nil), c.Samples...)
+	spec := Spec{
+		DropoutRate:   0.01,
+		ClipLevel:     1.1,
+		GainStepsPerS: 2000,
+		DriftDepth:    0.2,
+		BurstRate:     0.005,
+		NaNRate:       0.001,
+		Seed:          42,
+	}
+	a, ra, err := Apply(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, rb, err := Apply(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Samples {
+		if c.Samples[i] != orig[i] {
+			t.Fatalf("Apply mutated the input capture at %d", i)
+		}
+		av, bv := a.Samples[i], b.Samples[i]
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, av, bv)
+		}
+	}
+	if ra.String() != rb.String() {
+		t.Fatalf("reports diverged: %v vs %v", ra, rb)
+	}
+	// A different seed must produce a different record.
+	spec.Seed = 43
+	d, _, err := Apply(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		av, dv := a.Samples[i], d.Samples[i]
+		if av != dv && !(math.IsNaN(av) && math.IsNaN(dv)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed change did not change the injection")
+	}
+}
+
+func TestDropoutFractionMatchesRate(t *testing.T) {
+	c := testCapture(400000, 3)
+	for _, rate := range []float64{0.002, 0.01, 0.05} {
+		out, rep, err := Apply(c, Spec{DropoutRate: rate, DropoutMeanLen: 32, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeros := 0
+		for _, x := range out.Samples {
+			if x == 0 {
+				zeros++
+			}
+		}
+		if zeros != rep.DroppedSamples {
+			t.Fatalf("rate %v: %d zeros vs %d reported", rate, zeros, rep.DroppedSamples)
+		}
+		got := float64(zeros) / float64(len(out.Samples))
+		if got < rate/2 || got > rate*2 {
+			t.Fatalf("rate %v: dropped fraction %v not within 2x", rate, got)
+		}
+	}
+}
+
+func TestClipCeiling(t *testing.T) {
+	c := testCapture(50000, 4)
+	out, rep, err := Apply(c, Spec{ClipLevel: 1.02, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped := 0
+	for i, x := range out.Samples {
+		if x > 1.02 {
+			t.Fatalf("sample %d = %v above clip level", i, x)
+		}
+		if x == 1.02 {
+			clipped++
+		}
+	}
+	if clipped == 0 || rep.ClippedSamples != clipped {
+		t.Fatalf("clipped %d at ceiling, report says %d", clipped, rep.ClippedSamples)
+	}
+}
+
+func TestGainStepEvents(t *testing.T) {
+	c := testCapture(100000, 7)
+	out, rep, err := Apply(c, Spec{GainStepsPerS: 1200, Seed: 8}) // ~3 expected
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	gain := 1.0
+	for _, e := range rep.Events {
+		if e.Kind != EventGainStep {
+			t.Fatalf("unexpected event %v", e)
+		}
+		if e.Factor < 1/5.01 || e.Factor > 5.01 || (e.Factor > 1/2.99 && e.Factor < 2.99) {
+			t.Fatalf("step factor %v outside ±[3, 5]", e.Factor)
+		}
+		gain *= e.Factor
+		steps++
+	}
+	if steps == 0 {
+		t.Fatal("no gain step fired at 1200 steps/s over 2.5 ms")
+	}
+	if math.Abs(gain-rep.FinalGain) > 1e-12 {
+		t.Fatalf("FinalGain %v != product of factors %v", rep.FinalGain, gain)
+	}
+	// After the last step the output must equal input × cumulative gain.
+	last := rep.Events[len(rep.Events)-1].Start
+	for i := last; i < len(out.Samples); i++ {
+		want := c.Samples[i] * rep.FinalGain
+		if math.Abs(out.Samples[i]-want) > 1e-9*want {
+			t.Fatalf("sample %d: %v, want %v", i, out.Samples[i], want)
+		}
+	}
+}
+
+func TestBurstAndNaNCounts(t *testing.T) {
+	c := testCapture(200000, 9)
+	out, rep, err := Apply(c, Spec{BurstRate: 0.01, BurstMeanLen: 3, NaNRate: 0.002, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nans := 0
+	for _, x := range out.Samples {
+		if math.IsNaN(x) {
+			nans++
+		}
+	}
+	if nans != rep.CorruptSamples || nans == 0 {
+		t.Fatalf("%d NaNs vs %d reported", nans, rep.CorruptSamples)
+	}
+	if rep.BurstSamples == 0 {
+		t.Fatal("no burst samples at 1% rate")
+	}
+	got := float64(rep.BurstSamples) / float64(len(out.Samples))
+	if got < 0.005 || got > 0.02 {
+		t.Fatalf("burst fraction %v, want ~0.01", got)
+	}
+	// Burst events must cover exactly the reported sample count.
+	covered := 0
+	for _, e := range rep.Events {
+		if e.Kind == EventBurst {
+			covered += e.End - e.Start
+		}
+	}
+	if covered != rep.BurstSamples {
+		t.Fatalf("burst events cover %d samples, report says %d", covered, rep.BurstSamples)
+	}
+}
+
+func TestDriftBounded(t *testing.T) {
+	c := testCapture(100000, 11)
+	out, _, err := Apply(c, Spec{DriftDepth: 0.3, DriftTauS: 1e-3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	moved := false
+	for i, x := range out.Samples {
+		ratio := x / c.Samples[i]
+		if ratio < 1-0.31 || ratio > 1+0.31 {
+			t.Fatalf("sample %d drift ratio %v beyond ±DriftDepth", i, ratio)
+		}
+		if ratio < lo {
+			lo = ratio
+		}
+		if ratio > hi {
+			hi = ratio
+		}
+		if math.Abs(ratio-1) > 0.05 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("drift never moved the gain (ratio range [%v, %v])", lo, hi)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Spec{
+		{DropoutRate: -0.1},
+		{DropoutRate: 1},
+		{DropoutRate: 0.01, DropoutMeanLen: 0.5},
+		{ClipLevel: -1},
+		{GainStepsPerS: -1},
+		{GainStepsPerS: 1, GainStepMin: 0.5},
+		{GainStepsPerS: 1, GainStepMin: 4, GainStepMax: 2},
+		{DriftDepth: 1},
+		{DriftDepth: -0.1},
+		{BurstRate: 1},
+		{NaNRate: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Errorf("zero spec rejected: %v", err)
+	}
+	if _, err := NewInjector(Spec{}, 0); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}
