@@ -5,6 +5,7 @@
 package emprof_test
 
 import (
+	"context"
 	"testing"
 
 	"emprof"
@@ -343,6 +344,90 @@ func BenchmarkAblationOoOWindow(b *testing.B) {
 			// compresses even faster — both are reported.
 			b.ReportMetric(float64(stall)/float64(misses), "stall-cyc/miss")
 			b.ReportMetric(float64(cycles)/1000, "kcycles")
+		})
+	}
+}
+
+// parallelBenchCapture synthesizes a long capture (≥10M samples) with a
+// realistic dip density directly, skipping the cycle-level simulator —
+// simulating this many cycles would dominate the benchmark setup.
+func parallelBenchCapture(n int) *emprof.Capture {
+	rng := sim.NewRNG(42)
+	s := make([]float64, n)
+	busy := true
+	left := 400
+	for i := range s {
+		if left == 0 {
+			busy = !busy
+			if busy {
+				left = 200 + int(rng.Uint64()%600)
+			} else {
+				left = 4 + int(rng.Uint64()%14)
+			}
+		}
+		left--
+		v := 1.0
+		if !busy {
+			v = 0.12
+		}
+		s[i] = v + 0.03*rng.NormFloat64()
+	}
+	return &emprof.Capture{Samples: s, SampleRate: 50e6, ClockHz: 1e9}
+}
+
+// BenchmarkAnalyzeParallel compares sequential analysis against the
+// chunked worker-pool analyzer on a long capture. The speedup scales
+// with physical cores (the scan stage stays sequential); on a
+// single-core host the parallel path degrades gracefully to a small
+// coordination overhead.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	cap := parallelBenchCapture(12 << 20)
+	cfg := emprof.DefaultConfig()
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.SetBytes(int64(8 * len(cap.Samples)))
+			for i := 0; i < b.N; i++ {
+				if _, err := emprof.AnalyzeParallel(cap, cfg, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(8 * len(cap.Samples)))
+		for i := 0; i < b.N; i++ {
+			if _, err := emprof.Analyze(cap, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers-2", bench(2))
+	b.Run("workers-4", bench(4))
+	b.Run("workers-8", bench(8))
+}
+
+// BenchmarkSweep runs a device × seed grid through the sweep runner,
+// serial vs parallel workers.
+func BenchmarkSweep(b *testing.B) {
+	grid := emprof.SweepGrid{
+		Devices:   []string{"olimex", "samsung"},
+		Workloads: []string{"micro:64:8"},
+		Seeds:     []uint64{1, 2},
+	}
+	jobs := grid.Jobs()
+	for _, workers := range []int{1, 4} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := emprof.RunSweep(context.Background(), jobs, emprof.SweepOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
 		})
 	}
 }

@@ -5,6 +5,7 @@
 //	emprof -i run.cap
 //	emprof -i run.cap -hist -rate
 //	emprof -i run.cap -enter 0.3 -min-stall 120e-9
+//	emprof -i long.cap -workers 0    # parallel analysis, same results
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		hist     = flag.Bool("hist", false, "print the stall-latency histogram")
 		rate     = flag.Bool("rate", false, "print the miss rate over time")
 		events   = flag.Int("events", 0, "print the first N detected stalls")
+		workers  = flag.Int("workers", 1, "analysis worker count: 1 = sequential, 0 = GOMAXPROCS; results are identical either way")
 	)
 	flag.Parse()
 
@@ -50,7 +52,12 @@ func main() {
 		cfg.NormWindowS = *window
 	}
 
-	prof, err := emprof.Analyze(cap, cfg)
+	var prof *emprof.Profile
+	if *workers == 1 {
+		prof, err = emprof.Analyze(cap, cfg)
+	} else {
+		prof, err = emprof.AnalyzeParallel(cap, cfg, *workers)
+	}
 	if err != nil {
 		fatal(err)
 	}

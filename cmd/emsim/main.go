@@ -6,9 +6,18 @@
 //	emsim -device samsung -workload spec:mcf -scale 2 -bw 60e6 -o mcf.cap
 //	emsim -device olimex -workload boot -truth -o boot.cap
 //	emsim -device olimex -fault-dropout 0.005 -fault-gain-steps 50 -o rough.cap
+//
+// With -parallel it switches to sweep mode: the (comma-separated) device
+// and workload lists, -seeds and -bws expand to a job grid that runs
+// simulate→inject→analyze per cell on -jobs workers, printing one result
+// row per cell instead of writing a capture:
+//
+//	emsim -parallel -device olimex,samsung -workload micro:256:8,spec:mcf -seeds 3 -jobs 4
+//	emsim -parallel -device olimex -bws 20e6,40e6,80e6 -fault-dropout 0.005
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,14 +30,21 @@ import (
 
 func main() {
 	var (
-		deviceName = flag.String("device", "olimex", "target device: alcatel, samsung, olimex, sesc")
-		workload   = flag.String("workload", "micro:256:8", "workload: micro:TM:CM, spec:NAME, boot, or file:PATH.json")
+		deviceName = flag.String("device", "olimex", "target device: alcatel, samsung, olimex, sesc (comma-separated in -parallel mode)")
+		workload   = flag.String("workload", "micro:256:8", "workload: micro:TM:CM, spec:NAME, boot, or file:PATH.json (comma-separated in -parallel mode)")
 		scale      = flag.Float64("scale", 1, "spec/boot instruction budget in millions")
 		bw         = flag.Float64("bw", 0, "measurement bandwidth in Hz (0 = device default)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		noiseFree  = flag.Bool("noise-free", false, "disable probe noise and supply drift")
 		out        = flag.String("o", "capture.cap", "output capture file")
 		truth      = flag.Bool("truth", false, "print ground-truth summary to stdout")
+
+		// Sweep mode: run a device × workload × seed × bandwidth grid on a
+		// worker pool and print per-cell analysis results.
+		parallel = flag.Bool("parallel", false, "run a sweep over the device/workload/seed/bandwidth grid instead of writing one capture")
+		jobs     = flag.Int("jobs", 0, "sweep worker count (0 = GOMAXPROCS)")
+		seeds    = flag.Int("seeds", 1, "sweep seeds 1..N per grid cell")
+		bws      = flag.String("bws", "", "comma-separated sweep bandwidths in Hz (empty = device default)")
 
 		// Acquisition fault injection (internal/faults): impair the clean
 		// capture before writing it, to exercise robustness downstream.
@@ -43,23 +59,6 @@ func main() {
 	)
 	flag.Parse()
 
-	dev, err := emprof.DeviceByName(*deviceName)
-	if err != nil {
-		fatal(err)
-	}
-	wl, err := buildWorkload(*workload, *scale)
-	if err != nil {
-		fatal(err)
-	}
-	run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{
-		Seed:        *seed,
-		BandwidthHz: *bw,
-		NoiseFree:   *noiseFree,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	capture := run.Capture
 	spec := emprof.FaultSpec{
 		DropoutRate:    *faultDropout,
 		DropoutMeanLen: *faultDropoutLen,
@@ -73,7 +72,31 @@ func main() {
 	// Gate on any fault flag being set at all (not spec.Enabled, which is
 	// false for out-of-range values): a typo like -fault-dropout -0.1 must
 	// reach validation and error out, not be silently ignored.
-	if spec != (emprof.FaultSpec{Seed: spec.Seed}) {
+	faultsSet := spec != (emprof.FaultSpec{Seed: spec.Seed})
+
+	if *parallel {
+		runSweep(*deviceName, *workload, *bws, *scale, *seeds, *jobs, *noiseFree, faultsSet, spec)
+		return
+	}
+
+	dev, err := emprof.DeviceByName(*deviceName)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := emprof.ParseWorkload(*workload, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	run, err := emprof.Simulate(dev, wl, emprof.CaptureOptions{
+		Seed:        *seed,
+		BandwidthHz: *bw,
+		NoiseFree:   *noiseFree,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	capture := run.Capture
+	if faultsSet {
 		impaired, rep, err := emprof.InjectFaults(capture, spec)
 		if err != nil {
 			fatal(err)
@@ -96,38 +119,66 @@ func main() {
 	}
 }
 
-// buildWorkload parses the -workload specification.
-func buildWorkload(spec string, scale float64) (emprof.Workload, error) {
-	parts := strings.Split(spec, ":")
-	switch parts[0] {
-	case "micro":
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("micro workload needs micro:TM:CM, got %q", spec)
-		}
-		tm, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, fmt.Errorf("bad TM: %w", err)
-		}
-		cm, err := strconv.Atoi(parts[2])
-		if err != nil {
-			return nil, fmt.Errorf("bad CM: %w", err)
-		}
-		return emprof.Microbenchmark(tm, cm)
-	case "spec":
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("spec workload needs spec:NAME, got %q", spec)
-		}
-		return emprof.SPECWorkload(parts[1], scale)
-	case "boot":
-		return emprof.BootWorkload(scale, 1), nil
-	case "file":
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("file workload needs file:PATH, got %q", spec)
-		}
-		return emprof.LoadWorkload(parts[1])
-	default:
-		return nil, fmt.Errorf("unknown workload %q (micro:TM:CM, spec:NAME, boot, file:PATH)", spec)
+// runSweep expands the grid flags into jobs, executes them on the worker
+// pool, and prints one row per cell.
+func runSweep(devices, workloads, bws string, scale float64, seeds, workers int, noiseFree, faultsSet bool, spec emprof.FaultSpec) {
+	grid := emprof.SweepGrid{
+		Devices:   splitList(devices),
+		Workloads: splitList(workloads),
+		ScaleM:    scale,
+		NoiseFree: noiseFree,
 	}
+	for s := 1; s <= seeds; s++ {
+		grid.Seeds = append(grid.Seeds, uint64(s))
+	}
+	for _, f := range splitList(bws) {
+		hz, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -bws entry %q: %w", f, err))
+		}
+		grid.BandwidthsHz = append(grid.BandwidthsHz, hz)
+	}
+	if faultsSet {
+		grid.Faults = spec
+	}
+	jobs := grid.Jobs()
+	fmt.Printf("sweep: %d jobs\n", len(jobs))
+	res, err := emprof.RunSweep(context.Background(), jobs, emprof.SweepOptions{Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %-14s %5s %9s  %8s %8s %9s %9s\n",
+		"device", "workload", "seed", "bw", "misses", "true", "stall-cyc", "true-cyc")
+	failed := 0
+	for _, r := range res {
+		bwLabel := "default"
+		if r.Job.BandwidthHz > 0 {
+			bwLabel = fmt.Sprintf("%.0fMHz", r.Job.BandwidthHz/1e6)
+		}
+		if r.Err != nil {
+			failed++
+			fmt.Printf("%-8s %-14s %5d %9s  error: %v\n",
+				r.Job.Device, r.Job.Workload, r.Job.Seed, bwLabel, r.Err)
+			continue
+		}
+		fmt.Printf("%-8s %-14s %5d %9s  %8d %8d %9.0f %9d\n",
+			r.Job.Device, r.Job.Workload, r.Job.Seed, bwLabel,
+			r.Profile.Misses, r.TrueMisses, r.Profile.StallCycles, r.TrueStallCycles)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d/%d jobs failed", failed, len(res)))
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -78,6 +78,26 @@ func Analyze(c *Capture, cfg Config) (*Profile, error) {
 	return a.Profile(c), nil
 }
 
+// AnalyzeParallel runs EMPROF over a capture using a bounded worker pool:
+// the capture is sharded into chunks overlapping by one normalisation
+// window (the detector's warm-up), chunks are normalised concurrently,
+// and the stall detector is replayed over them in order.
+//
+// The result is deterministic and bit-identical to Analyze on the same
+// capture — stalls, confidences and quality counters included — for every
+// worker count; workers only changes speed. workers <= 0 uses
+// runtime.GOMAXPROCS(0), and workers == 1 (or a capture too short to
+// shard profitably) runs the plain sequential analyzer. Use this for long
+// captures on multi-core hosts; for bounded-memory live acquisition use
+// AnalyzeStream instead.
+func AnalyzeParallel(c *Capture, cfg Config, workers int) (*Profile, error) {
+	a, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.ProfileParallel(c, core.ParallelOptions{Workers: workers}), nil
+}
+
 // DeviceAlcatel returns the Alcatel Ideal phone model (Cortex-A7,
 // 1.1 GHz, 1 MB LLC).
 func DeviceAlcatel() Device { return device.Alcatel() }

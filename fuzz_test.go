@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"math"
 	"testing"
+
+	"emprof/internal/core"
 )
 
 // fuzzConfigs are the profiler configurations the fuzzer cycles through:
@@ -26,11 +28,13 @@ func fuzzConfigs() []Config {
 }
 
 // FuzzAnalyze feeds arbitrary sample data and config permutations through
-// both the batch and the streaming analyzer. Neither may ever panic —
+// the batch, streaming, and parallel analyzers. None may ever panic —
 // including on NaN/Inf garbage — and on captures at least one
-// normalisation window long the two must agree exactly (the batch
+// normalisation window long all three must agree exactly (the batch
 // analyzer clamps its window on shorter captures, where the pipelines
-// legitimately differ).
+// legitimately differ). The parallel analyzer runs with a deliberately
+// tiny chunk size so fuzz-sized inputs actually shard instead of falling
+// back to the sequential path.
 func FuzzAnalyze(f *testing.F) {
 	f.Add([]byte{}, uint8(0))
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, uint8(1))
@@ -84,6 +88,22 @@ func FuzzAnalyze(f *testing.F) {
 		ps, err := AnalyzeStream(c, cfg)
 		if err != nil {
 			t.Fatalf("AnalyzeStream: %v", err)
+		}
+		pp := core.MustNewAnalyzer(cfg).ProfileParallel(c, core.ParallelOptions{
+			Workers: 3, ChunkSamples: 1024,
+		})
+		// The parallel analyzer must be bit-identical to batch regardless
+		// of capture length (it falls back to the batch path when too
+		// short to shard, so no window-length carve-out applies).
+		if pp.Misses != pb.Misses || pp.RefreshStalls != pb.RefreshStalls ||
+			pp.Quality != pb.Quality || len(pp.Stalls) != len(pb.Stalls) {
+			t.Fatalf("batch/parallel diverged: %d/%d/%v vs %d/%d/%v (n=%d)",
+				pb.Misses, pb.RefreshStalls, pb.Quality, pp.Misses, pp.RefreshStalls, pp.Quality, n)
+		}
+		for i := range pb.Stalls {
+			if pb.Stalls[i] != pp.Stalls[i] {
+				t.Fatalf("stall %d diverged:\nbatch:    %+v\nparallel: %+v", i, pb.Stalls[i], pp.Stalls[i])
+			}
 		}
 
 		window := int(cfg.NormWindowS * sampleRate)

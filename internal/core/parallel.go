@@ -1,0 +1,355 @@
+package core
+
+// This file implements the parallel batch analyzer: ProfileParallel shards
+// a long capture across a bounded worker pool and produces a Profile that
+// is bit-identical to Analyzer.Profile on the same capture — stalls,
+// confidences, quality counters and all. It exists because a single
+// sequential pass caps profiling throughput far below what multi-core
+// hardware allows, while production deployments (long boot traces,
+// multi-minute SPEC captures, sweep grids) routinely analyse hundreds of
+// millions of samples.
+//
+// Exact equivalence dictates the decomposition. The pipeline's stages
+// differ in how much history they carry:
+//
+//   - The signal-quality monitor holds infinite-memory state (busy-level
+//     and distinctness EMAs, last-good sample), so it cannot be restarted
+//     mid-capture without changing its decisions. It stays sequential.
+//   - The smoothing moving average keeps a running sum whose floating-
+//     point rounding depends on the entire prefix, so a freshly seeded
+//     window would differ in final bits. It also stays sequential — and is
+//     by far the cheapest stage.
+//   - The moving min/max normalisation windows are finite (NormWindowS):
+//     the stats at position j depend only on the last window of smoothed
+//     values and the resync points inside it. Chunks overlapping by one
+//     window reproduce them exactly. This is the expensive stage, and it
+//     parallelises.
+//   - The dip detector is a cheap state machine over the normalised
+//     values; replaying it sequentially over the chunk results in order
+//     reproduces hysteresis, abort and confidence behaviour exactly.
+//
+// The stages are therefore run as a pipeline rather than as barriers: a
+// producer goroutine scans the capture once (monitor + smoothing),
+// dispatching each chunk to the worker pool as soon as the scan passes the
+// chunk's read horizon; workers normalise chunks concurrently; the caller
+// replays the detector over results in chunk order, freeing each chunk as
+// it is consumed. Wall time approaches max(scan, normalise/workers)
+// instead of their sum.
+
+import (
+	"runtime"
+
+	"emprof/internal/dsp"
+	"emprof/internal/em"
+)
+
+// ParallelOptions tunes ProfileParallel. The zero value auto-sizes
+// everything; no setting changes the analysis result, only its speed and
+// memory footprint.
+type ParallelOptions struct {
+	// Workers bounds the normalisation worker pool; <= 0 uses
+	// runtime.GOMAXPROCS(0). Workers == 1 runs the plain sequential
+	// analyzer.
+	Workers int
+	// ChunkSamples is the shard length in samples; <= 0 picks a default
+	// large enough that the one-window warm-up overlap each worker redoes
+	// stays a small fraction of its chunk. Any positive value is valid and
+	// produces the same profile.
+	ChunkSamples int
+	// MaxInFlight bounds how many chunks may be dispatched but not yet
+	// merged (memory control); <= 0 uses Workers+2.
+	MaxInFlight int
+}
+
+// chunkJob describes one shard handed to a normalisation worker. All
+// sample indices are absolute capture positions.
+type chunkJob struct {
+	idx    int
+	lo, hi int // owned positions [lo, hi)
+	// resyncs are the normalisation re-seed positions falling inside this
+	// chunk's deque feed range (a snapshot: the producer may append more
+	// for later chunks concurrently).
+	resyncs []int
+	// mask is the impairment-mask snapshot; entries for [lo, hi) are final
+	// by the time the job is dispatched. Nil when no impairment has been
+	// flagged yet.
+	mask []qflag
+}
+
+// chunkResult is a normalised shard awaiting detector replay.
+type chunkResult struct {
+	chunkJob
+	// norm holds the normalised values of positions [lo, hi).
+	norm []float64
+	// statLo/statHi hold the (min, max) normalisation stats each decision
+	// was taken against — the detector records them on dip entry.
+	statLo, statHi []float64
+}
+
+// ProfileParallel runs the full EMPROF pipeline over the capture using a
+// bounded worker pool. The returned profile is deterministic and
+// bit-identical to Profile(c) for every option setting: worker count and
+// chunk size only affect speed. Captures too short to shard profitably
+// (or Workers == 1) fall through to the sequential path.
+func (a *Analyzer) ProfileParallel(c *em.Capture, opts ParallelOptions) *Profile {
+	n := len(c.Samples)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Window geometry, exactly as Analyzer.normalize derives it.
+	w := int(a.cfg.NormWindowS * c.SampleRate)
+	if w < 8 {
+		w = 8
+	}
+	if w > n {
+		w = n
+	}
+	half := w / 2
+	lead := 0
+	if a.cfg.SmoothSamples > 1 {
+		lead = (a.cfg.SmoothSamples - 1) / 2
+	}
+
+	chunk := opts.ChunkSamples
+	if chunk <= 0 {
+		// Default: large enough that the one-window overlap redone per
+		// chunk stays a small fraction of the chunk's own work.
+		chunk = 1 << 16
+		if min := 2 * w; chunk < min {
+			chunk = min
+		}
+	}
+	numChunks := 0
+	if chunk > 0 {
+		numChunks = (n + chunk - 1) / chunk
+	}
+	if workers < 2 || numChunks < 2 {
+		return a.Profile(c)
+	}
+
+	p := &Profile{
+		ExecCycles: float64(n) * c.CyclesPerSample(),
+		SampleRate: c.SampleRate,
+		ClockHz:    c.ClockHz,
+	}
+
+	mon := newMonitor(a.cfg, c.SampleRate)
+	san := make([]float64, n)
+	// x is the normalisation input: the smoothed series when smoothing is
+	// enabled, otherwise the sanitised samples themselves.
+	x := san
+	var sm []float64
+	if a.cfg.SmoothSamples > 1 {
+		sm = make([]float64, n)
+		x = sm
+	}
+
+	inFlight := opts.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = workers + 2
+	}
+	sem := make(chan struct{}, inFlight)
+	jobs := make(chan chunkJob, numChunks)
+	results := make([]chan chunkResult, numChunks)
+	for i := range results {
+		results[i] = make(chan chunkResult, 1)
+	}
+
+	// Producer: the sequential scan (quality monitor + smoothing). Chunk c
+	// may be dispatched once the scan has passed its read horizon: the
+	// last smoothed value its worker reads (hi-1+half, written `lead`
+	// positions later) and the last scan position that can retroactively
+	// flag one of its samples (hi-1 + the monitor's half-window).
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		defer close(jobs)
+		var ma *dsp.MovingAverage
+		if a.cfg.SmoothSamples > 1 {
+			ma = dsp.NewMovingAverage(a.cfg.SmoothSamples)
+		}
+		var mask []qflag
+		var resyncs []int
+		next := 0
+		dispatch := func() {
+			lo := next * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			feedStart := lo + half - w + 1
+			if feedStart < 0 {
+				feedStart = 0
+			}
+			statsEnd := hi - 1 + half
+			if statsEnd > n-1 {
+				statsEnd = n - 1
+			}
+			// Snapshot the resync positions inside the feed range; the
+			// shared slice keeps growing behind us.
+			var rs []int
+			for _, r := range resyncs {
+				if r > statsEnd {
+					break
+				}
+				if r >= feedStart {
+					rs = append(rs, r)
+				}
+			}
+			sem <- struct{}{}
+			jobs <- chunkJob{idx: next, lo: lo, hi: hi, resyncs: rs, mask: mask}
+			next++
+		}
+		for pos := 0; pos < n; pos++ {
+			y, fl, retro, rs := mon.process(c.Samples[pos])
+			san[pos] = y
+			if fl != 0 {
+				if mask == nil {
+					mask = make([]qflag, n)
+				}
+				mask[pos] |= fl
+				for k := 1; k <= retro && pos-k >= 0; k++ {
+					mask[pos-k] |= fl
+				}
+			}
+			if rs {
+				resyncs = append(resyncs, pos)
+			}
+			if ma != nil {
+				// The centred smoothing of Analyzer.normalize: position
+				// pos-lead takes the trailing average ending at pos, and
+				// the last `lead` positions keep their uncompensated
+				// trailing values.
+				tm := ma.Process(y)
+				if pos >= lead {
+					sm[pos-lead] = tm
+				}
+				if pos >= n-lead {
+					sm[pos] = tm
+				}
+			}
+			for next < numChunks {
+				hiC := next*chunk + chunk
+				if hiC > n {
+					hiC = n
+				}
+				horizon := hiC + half + lead
+				if horizon > n {
+					horizon = n
+				}
+				if pos+1 < horizon {
+					break
+				}
+				dispatch()
+			}
+		}
+		for next < numChunks {
+			dispatch()
+		}
+	}()
+
+	// Workers: normalise chunks independently. Each worker re-derives the
+	// moving min/max stats from one window before its chunk, which is
+	// exactly the history the finite windows remember.
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			for job := range jobs {
+				results[job.idx] <- a.normalizeChunk(x, n, w, half, job)
+			}
+		}()
+	}
+
+	// Merge: replay the dip detector over the chunks in capture order.
+	// The detector's cross-chunk state (open dips, hysteresis, last
+	// impairment distance for confidence) carries over naturally because
+	// the replay is a single sequential pass over bit-identical inputs.
+	var detQ Quality
+	var norm []float64
+	if a.KeepNormalized {
+		norm = make([]float64, 0, n)
+	}
+	d := newDetector(a.cfg, c.SampleRate, c.ClockHz, half, p, &detQ, nil)
+	for ci := 0; ci < numChunks; ci++ {
+		res := <-results[ci]
+		for i := res.lo; i < res.hi; i++ {
+			var fl qflag
+			if res.mask != nil {
+				fl = res.mask[i]
+			}
+			k := i - res.lo
+			d.decide(int64(i), res.norm[k], fl, res.statLo[k], res.statHi[k])
+		}
+		if norm != nil {
+			norm = append(norm, res.norm...)
+		}
+		<-sem
+	}
+	d.finish(int64(n))
+	<-scanDone
+	p.Normalized = norm
+	p.Quality = mon.q
+	p.Quality.AbortedDips += detQ.AbortedDips
+	return p
+}
+
+// normalizeChunk computes the normalised values and decision stats for the
+// chunk's owned positions [lo, hi), warming the moving min/max windows up
+// from one full window before the first read stat so every value matches
+// the sequential pass bit-for-bit.
+func (a *Analyzer) normalizeChunk(x []float64, n, w, half int, job chunkJob) chunkResult {
+	feedStart := job.lo + half - w + 1
+	if feedStart < 0 {
+		feedStart = 0
+	}
+	statsEnd := job.hi - 1 + half
+	if statsEnd > n-1 {
+		statsEnd = n - 1
+	}
+	mmin := dsp.NewMovingMin(w)
+	mmax := dsp.NewMovingMax(w)
+	lows := make([]float64, statsEnd-feedStart+1)
+	highs := make([]float64, statsEnd-feedStart+1)
+	ri := 0
+	for t := feedStart; t <= statsEnd; t++ {
+		if ri < len(job.resyncs) && job.resyncs[ri] == t {
+			mmin.Reset()
+			mmax.Reset()
+			ri++
+		}
+		lows[t-feedStart] = mmin.Process(x[t])
+		highs[t-feedStart] = mmax.Process(x[t])
+	}
+
+	cn := job.hi - job.lo
+	res := chunkResult{
+		chunkJob: job,
+		norm:     make([]float64, cn),
+		statLo:   make([]float64, cn),
+		statHi:   make([]float64, cn),
+	}
+	for i := job.lo; i < job.hi; i++ {
+		j := i + half
+		if j > n-1 {
+			j = n - 1
+		}
+		lo, hi := lows[j-feedStart], highs[j-feedStart]
+		k := i - job.lo
+		res.statLo[k], res.statHi[k] = lo, hi
+		r := hi - lo
+		if hi <= 0 || r < a.cfg.MinRangeFrac*hi {
+			res.norm[k] = 1
+			continue
+		}
+		v := (x[i] - lo) / r
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		res.norm[k] = v
+	}
+	return res
+}

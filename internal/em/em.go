@@ -52,8 +52,13 @@ func (c *Capture) Duration() float64 {
 }
 
 // CyclesPerSample returns the number of processor cycles each sample
-// spans.
+// spans, or 0 for a capture with no (or nonsensical) sample-rate
+// metadata — mirroring Duration, and keeping the ±Inf/NaN a bare division
+// would produce out of downstream index arithmetic.
 func (c *Capture) CyclesPerSample() float64 {
+	if c.SampleRate <= 0 {
+		return 0
+	}
 	return c.ClockHz / c.SampleRate
 }
 
@@ -73,12 +78,22 @@ func (c *Capture) Clone() *Capture {
 // The returned capture ALIASES the receiver's backing array — writes to
 // either capture's samples in the shared range are visible through both.
 // Use Clone (or Slice(...).Clone()) when an independent copy is needed.
+// Out-of-range bounds are clamped into [0, len(Samples)] — including
+// lo beyond the capture end and negative hi, both of which previously
+// slipped through the partial clamping and panicked.
 func (c *Capture) Slice(lo, hi int) *Capture {
+	n := len(c.Samples)
 	if lo < 0 {
 		lo = 0
 	}
-	if hi > len(c.Samples) {
-		hi = len(c.Samples)
+	if lo > n {
+		lo = n
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi > n {
+		hi = n
 	}
 	if lo > hi {
 		lo = hi

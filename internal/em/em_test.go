@@ -202,6 +202,44 @@ func TestCaptureHelpers(t *testing.T) {
 	}
 }
 
+// TestSliceDegenerateBounds pins the clamping cases the old partial clamp
+// let through to a slice-bounds panic: lo beyond the capture end, and a
+// negative hi combined with an in-range lo.
+func TestSliceDegenerateBounds(t *testing.T) {
+	c := &Capture{Samples: make([]float64, 10), SampleRate: 50e6, ClockHz: 1e9}
+	cases := []struct {
+		lo, hi, want int
+	}{
+		{200, 300, 0},  // lo > len
+		{15, 5, 0},     // lo > len, hi in range
+		{3, -2, 0},     // negative hi
+		{-4, -1, 0},    // both negative
+		{0, 10, 10},    // full range stays full
+		{10, 10, 0},    // empty at the end
+		{-100, 100, 10}, // wildly out of range on both sides
+	}
+	for _, tc := range cases {
+		got := c.Slice(tc.lo, tc.hi)
+		if len(got.Samples) != tc.want {
+			t.Errorf("Slice(%d, %d) = %d samples, want %d", tc.lo, tc.hi, len(got.Samples), tc.want)
+		}
+		if got.SampleRate != c.SampleRate || got.ClockHz != c.ClockHz {
+			t.Errorf("Slice(%d, %d) lost metadata", tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestCyclesPerSampleDegenerate: missing sample-rate metadata must yield 0
+// (like Duration), never ±Inf or NaN.
+func TestCyclesPerSampleDegenerate(t *testing.T) {
+	for _, rate := range []float64{0, -50e6} {
+		c := &Capture{Samples: make([]float64, 4), SampleRate: rate, ClockHz: 1e9}
+		if got := c.CyclesPerSample(); got != 0 {
+			t.Errorf("CyclesPerSample with rate %v = %v, want 0", rate, got)
+		}
+	}
+}
+
 func TestSliceAliasesAndCloneCopies(t *testing.T) {
 	c := &Capture{Samples: []float64{0, 1, 2, 3, 4}, SampleRate: 50e6, ClockHz: 1e9}
 

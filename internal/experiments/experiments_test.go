@@ -230,6 +230,15 @@ func TestFig7And8AndFig10(t *testing.T) {
 	if f10.StallActivity <= f10.BaselineActivity {
 		t.Error("memory activity inside stalls must exceed baseline")
 	}
+	// Both probes record simultaneously with the same receiver settings, so
+	// their sample rates must match exactly; sample-index alignment between
+	// the two captures depends on it.
+	if f10.CPUSampleRate != f10.MemSampleRate {
+		t.Errorf("probe sample rates diverge: cpu=%v mem=%v", f10.CPUSampleRate, f10.MemSampleRate)
+	}
+	if f10.CPUSampleRate <= 0 {
+		t.Errorf("cpu sample rate %v not positive", f10.CPUSampleRate)
+	}
 }
 
 func TestFig11Quick(t *testing.T) {

@@ -422,6 +422,11 @@ type Fig10Result struct {
 	// BaselineActivity and StallActivity compare the memory signal level
 	// outside and inside stalls.
 	BaselineActivity, StallActivity float64
+	// CPUSampleRate and MemSampleRate are the two probes' output rates.
+	// Time alignment of the probes assumes they are equal; the experiment
+	// test asserts it (the memory probe once truncated its decimation
+	// factor where the receiver rounds, skewing the rates apart).
+	CPUSampleRate, MemSampleRate float64
 }
 
 // RunFig10 reproduces Fig. 10: CPU-signal dips coincide with bursts in
@@ -474,7 +479,11 @@ func RunFig10(o Options) (*Fig10Result, error) {
 			baseN++
 		}
 	}
-	res := &Fig10Result{Stalls: len(prof.Stalls)}
+	res := &Fig10Result{
+		Stalls:        len(prof.Stalls),
+		CPUSampleRate: run.Capture.SampleRate,
+		MemSampleRate: run.MemCapture.SampleRate,
+	}
 	if len(prof.Stalls) > 0 {
 		res.CoincidenceFraction = float64(coincide) / float64(len(prof.Stalls))
 	}

@@ -131,7 +131,12 @@ func Simulate(dev Device, w Workload, opts CaptureOptions) (*Run, error) {
 // (the paper places a second probe over the SDRAM and records both
 // simultaneously, Fig. 9/10).
 func synthesizeMemoryProbe(dev Device, ms *mem.System, cycles uint64, rxCfg em.ReceiverConfig) (*Capture, error) {
-	d := int(dev.CPU.ClockHz / rxCfg.BandwidthHz)
+	// Rasterise the DRAM trace at the receiver's decimation factor, which
+	// em.NewReceiver derives as round(clock/bandwidth). Truncating here
+	// instead (the old behaviour) made the memory probe's effective sample
+	// rate disagree with the processor probe's whenever clock/bandwidth is
+	// not an integer, skewing the Fig. 10 time alignment.
+	d := int(math.Round(dev.CPU.ClockHz / rxCfg.BandwidthHz))
 	if d < 1 {
 		d = 1
 	}
@@ -161,10 +166,16 @@ func (r *Run) RegionWindow(region uint16) (start, end uint64, found bool) {
 	return start, end, found
 }
 
-// SliceCycles returns the sub-capture covering the cycle range [lo, hi).
+// SliceCycles returns the sub-capture covering the cycle range [lo, hi):
+// the sample window is widened to whole samples (floor for lo, ceiling
+// for hi) so the final partial sample of a range is included rather than
+// silently dropped.
 func (r *Run) SliceCycles(lo, hi uint64) *Capture {
 	cps := r.Capture.CyclesPerSample()
-	return r.Capture.Slice(int(float64(lo)/cps), int(float64(hi)/cps))
+	if cps <= 0 {
+		return r.Capture.Slice(0, 0)
+	}
+	return r.Capture.Slice(int(math.Floor(float64(lo)/cps)), int(math.Ceil(float64(hi)/cps)))
 }
 
 // SliceRegion returns the sub-capture covering one workload region.
