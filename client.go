@@ -1,0 +1,263 @@
+package emprof
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"emprof/internal/service"
+)
+
+// SessionInfo is the service's list-endpoint view of one live profiling
+// session.
+type SessionInfo = service.SessionInfo
+
+// SessionSnapshot is a live profile snapshot from the service: the causal
+// profile so far, ingest progress, and a per-stall confidence histogram.
+type SessionSnapshot = service.Snapshot
+
+// SessionSpec describes a profiling session to open on an emprofd
+// daemon.
+type SessionSpec struct {
+	// SampleRate and ClockHz are the acquisition metadata of the signal
+	// about to be streamed (required; usually Capture.SampleRate and
+	// Capture.ClockHz).
+	SampleRate float64
+	ClockHz    float64
+	// Device optionally labels the profiled target.
+	Device string
+	// Config optionally overrides the profiler configuration; nil means
+	// DefaultConfig.
+	Config *Config
+}
+
+// Client talks to an emprofd profiling daemon (cmd/emprofd). The zero
+// value is not usable; construct with NewClient.
+//
+// Transient failures are retried with exponential backoff: GETs always;
+// session creation (a lost response at worst leaks a session for the
+// daemon's idle TTL to collect); and sample pushes only on 429, which
+// the service guarantees it sends before ingesting anything, so the
+// retry can never double-count samples. Other mid-stream push failures
+// are not retried — the client cannot know how much of the body landed.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:7979".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts per request (default 4).
+	MaxRetries int
+	// RetryBaseDelay is the first backoff step (default 100ms), doubling
+	// per attempt.
+	RetryBaseDelay time.Duration
+	// ChunkSamples is the number of samples per upload request in
+	// StreamCapture (default 65536, i.e. 512 KiB bodies).
+	ChunkSamples int
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 4
+}
+
+func (c *Client) retryDelay(attempt int) time.Duration {
+	d := c.RetryBaseDelay
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	return d << attempt
+}
+
+// retryMode selects which failures a request may be retried on.
+type retryMode int
+
+const (
+	retryAll     retryMode = iota // network errors and transient statuses
+	retry429Only                  // only "rejected before ingest" backpressure
+)
+
+// transientStatus reports whether an HTTP status indicates a failure
+// worth retrying.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("emprofd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// do issues one request with retry/backoff, decoding a JSON response into
+// out when it is non-nil. body, when non-nil, is replayed on each retry.
+func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentType string, body []byte, out any) error {
+	url := c.BaseURL + path
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.retryDelay(attempt - 1)):
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+			if mode == retryAll {
+				continue
+			}
+			return err
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if rerr != nil {
+				return rerr
+			}
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		}
+		var ae apiError
+		_ = json.Unmarshal(data, &ae)
+		lastErr = &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+		retryable := transientStatus(resp.StatusCode)
+		if mode == retry429Only {
+			retryable = resp.StatusCode == http.StatusTooManyRequests
+		}
+		if !retryable {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("emprofd: retries exhausted: %w", lastErr)
+}
+
+// apiError mirrors the service's error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// CreateSession opens a profiling session on the daemon and returns its
+// ID.
+func (c *Client) CreateSession(ctx context.Context, spec SessionSpec) (string, error) {
+	req := service.CreateRequest{
+		SampleRate: spec.SampleRate,
+		ClockHz:    spec.ClockHz,
+		Device:     spec.Device,
+		Config:     spec.Config,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	var resp service.CreateResponse
+	if err := c.do(ctx, retryAll, http.MethodPost, "/v1/sessions", "application/json", body, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// PushSamples uploads one block of magnitude samples to a session, in the
+// raw little-endian float64 wire format. Blocks arrive in call order;
+// concurrent pushes to one session are serialised by the daemon but land
+// in unspecified order, so keep one uploader per session.
+func (c *Client) PushSamples(ctx context.Context, id string, samples []float64) error {
+	body := make([]byte, len(samples)*8)
+	for i, v := range samples {
+		binary.LittleEndian.PutUint64(body[i*8:], math.Float64bits(v))
+	}
+	return c.do(ctx, retry429Only, http.MethodPost,
+		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, body, nil)
+}
+
+// StreamCapture uploads a whole capture to a session in ChunkSamples
+// blocks — the file-less equivalent of SaveCapture + "emprof -i": the
+// daemon profiles the samples as they arrive.
+func (c *Client) StreamCapture(ctx context.Context, id string, capture *Capture) error {
+	chunk := c.ChunkSamples
+	if chunk <= 0 {
+		chunk = 65536
+	}
+	for off := 0; off < len(capture.Samples); off += chunk {
+		end := off + chunk
+		if end > len(capture.Samples) {
+			end = len(capture.Samples)
+		}
+		if err := c.PushSamples(ctx, id, capture.Samples[off:end]); err != nil {
+			return fmt.Errorf("streaming samples [%d:%d): %w", off, end, err)
+		}
+	}
+	return nil
+}
+
+// Profile fetches the live snapshot of a session: the causal profile of
+// everything decided so far, without disturbing the stream.
+func (c *Client) Profile(ctx context.Context, id string) (*SessionSnapshot, error) {
+	var snap SessionSnapshot
+	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions/"+id+"/profile", "", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Finalize drains the session's pipeline and returns the final profile —
+// identical to Analyze over the same samples. The session is gone
+// afterwards.
+func (c *Client) Finalize(ctx context.Context, id string) (*Profile, error) {
+	var prof Profile
+	if err := c.do(ctx, retryAll, http.MethodDelete, "/v1/sessions/"+id, "", nil, &prof); err != nil {
+		return nil, err
+	}
+	return &prof, nil
+}
+
+// ListSessions returns the daemon's live sessions.
+func (c *Client) ListSessions(ctx context.Context) ([]SessionInfo, error) {
+	var out []SessionInfo
+	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package emprof_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"emprof"
+	"emprof/internal/service"
+)
+
+// startDaemon spins up an in-process emprofd (the exact handler
+// cmd/emprofd serves) behind httptest.
+func startDaemon(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// simCapture simulates a real microbenchmark capture on the Olimex
+// model — the same signal an emsim run would stream at a daemon.
+func simCapture(t *testing.T) *emprof.Capture {
+	t.Helper()
+	wl, err := emprof.Microbenchmark(96, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := emprof.Simulate(emprof.DeviceOlimex(), wl, emprof.CaptureOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Capture
+}
+
+// TestClientEndToEnd is the acceptance test for the profiling service: a
+// simulated capture streamed to the daemon in several chunks must yield,
+// on finalize, a profile bit-identical to emprof.Analyze over the same
+// capture; the mid-stream snapshot must be causal.
+func TestClientEndToEnd(t *testing.T) {
+	capture := simCapture(t)
+	want, err := emprof.Analyze(capture, emprof.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Stalls) < 10 {
+		t.Fatalf("capture yields only %d stalls; weak test", len(want.Stalls))
+	}
+
+	_, ts := startDaemon(t, service.Config{})
+	client := emprof.NewClient(ts.URL)
+	// Force many upload requests: at least ceil(n/chunk) >= 3 chunks.
+	client.ChunkSamples = len(capture.Samples)/5 + 1
+
+	ctx := context.Background()
+	id, err := client.CreateSession(ctx, emprof.SessionSpec{
+		SampleRate: capture.SampleRate,
+		ClockHz:    capture.ClockHz,
+		Device:     "olimex",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream the first three chunks, snapshot, then the rest.
+	cut := 3 * client.ChunkSamples
+	if cut > len(capture.Samples) {
+		t.Fatal("capture too short for the chunking under test")
+	}
+	head := &emprof.Capture{Samples: capture.Samples[:cut], SampleRate: capture.SampleRate, ClockHz: capture.ClockHz}
+	tail := &emprof.Capture{Samples: capture.Samples[cut:], SampleRate: capture.SampleRate, ClockHz: capture.ClockHz}
+	if err := client.StreamCapture(ctx, id, head); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := client.Profile(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SamplesIngested != int64(cut) {
+		t.Fatalf("mid-stream ingested %d, want %d", snap.SamplesIngested, cut)
+	}
+	if snap.SamplesDecided > snap.SamplesIngested {
+		t.Fatalf("decided %d ahead of ingested %d", snap.SamplesDecided, snap.SamplesIngested)
+	}
+	for _, st := range snap.Profile.Stalls {
+		if int64(st.EndSample) > snap.SamplesDecided {
+			t.Fatalf("non-causal stall: ends at %d with %d decided", st.EndSample, snap.SamplesDecided)
+		}
+	}
+
+	if err := client.StreamCapture(ctx, id, tail); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-identical through the service, the streaming pipeline, and the
+	// JSON round trip (Go marshals float64 at full round-trip precision).
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed profile differs from batch Analyze:\n got: misses=%d stalls=%d cycles=%v\nwant: misses=%d stalls=%d cycles=%v",
+			got.Misses, len(got.Stalls), got.StallCycles, want.Misses, len(want.Stalls), want.StallCycles)
+	}
+	// Mid-stream stalls were a prefix of the final list.
+	if n := len(snap.Profile.Stalls); n > 0 && !reflect.DeepEqual(snap.Profile.Stalls, got.Stalls[:n]) {
+		t.Fatal("mid-stream snapshot is not a prefix of the final profile")
+	}
+
+	// The session is gone after finalize.
+	if _, err := client.Profile(ctx, id); err == nil {
+		t.Fatal("finalized session still reachable")
+	}
+	list, err := client.ListSessions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("%d sessions left after finalize", len(list))
+	}
+}
+
+// TestClientRetriesBackpressure checks the retry/backoff path: a daemon
+// that answers 429 a few times before accepting must not surface an
+// error, and non-transient failures must not be retried.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var rejects atomic.Int32
+	rejects.Store(2)
+	_, ts := startDaemon(t, service.Config{})
+	// Front the daemon with a shim that rejects the first two ingests.
+	inner := ts.Client()
+	shim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && rejects.Add(-1) >= 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"full"}`))
+			return
+		}
+		req, err := http.NewRequest(r.Method, ts.URL+r.URL.Path, r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header
+		resp, err := inner.Do(req)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32*1024)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if rerr != nil {
+				break
+			}
+		}
+	}))
+	defer shim.Close()
+
+	client := emprof.NewClient(shim.URL)
+	client.RetryBaseDelay = 1 // keep the test fast
+	ctx := context.Background()
+	id, err := client.CreateSession(ctx, emprof.SessionSpec{SampleRate: 40e6, ClockHz: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PushSamples(ctx, id, make([]float64, 100)); err != nil {
+		t.Fatalf("push through transient 429s: %v", err)
+	}
+	snap, err := client.Profile(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SamplesIngested != 100 {
+		t.Fatalf("ingested %d after retries, want exactly 100 (no double-count)", snap.SamplesIngested)
+	}
+
+	// A 404 is terminal: no retry loop, immediate error.
+	if _, err := client.Profile(ctx, "doesnotexist"); err == nil {
+		t.Fatal("profile of unknown session succeeded")
+	} else if ae, ok := err.(*emprof.APIError); !ok || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("want APIError 404, got %v", err)
+	}
+}

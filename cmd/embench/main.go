@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"emprof/internal/experiments"
+	"emprof/internal/version"
 )
 
 func main() {
@@ -25,8 +26,13 @@ func main() {
 		scale = flag.Float64("scale", 1, "SPEC/boot instruction budget in millions")
 		seed  = flag.Uint64("seed", 1, "simulation seed")
 		quick = flag.Bool("quick", false, "shrunken grids for a fast smoke run")
+		ver   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Printf("embench %s\n", version.Version)
+		return
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {

@@ -15,6 +15,7 @@ import (
 
 	"emprof"
 	"emprof/internal/em"
+	"emprof/internal/version"
 )
 
 func main() {
@@ -28,8 +29,13 @@ func main() {
 		rate     = flag.Bool("rate", false, "print the miss rate over time")
 		events   = flag.Int("events", 0, "print the first N detected stalls")
 		workers  = flag.Int("workers", 1, "analysis worker count: 1 = sequential, 0 = GOMAXPROCS; results are identical either way")
+		showVer  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Printf("emprof %s\n", version.Version)
+		return
+	}
 
 	cap, err := em.LoadCapture(*in)
 	if err != nil {

@@ -1,0 +1,98 @@
+// Command emprofd is the concurrent profiling service: it manages many
+// live profiling sessions, each wrapping a streaming EMPROF analyzer,
+// ingesting EM capture bytes over HTTP and serving live profile
+// snapshots — the deployment the paper implies, where a probe streams
+// samples off the target continuously and results are available online
+// rather than post-hoc from capture files. Examples:
+//
+//	emprofd -addr :7979
+//	emprofd -addr :7979 -max-sessions 256 -max-session-bytes 4e9 -idle-ttl 2m
+//	emsim -device olimex -workload micro:1024:10 -serve-url http://localhost:7979
+//	curl -s localhost:7979/v1/sessions
+//	curl -s localhost:7979/metrics
+//
+// API (JSON unless noted):
+//
+//	POST   /v1/sessions               open a session {sample_rate, clock_hz, device?, config?}
+//	POST   /v1/sessions/{id}/samples  stream sample bytes (raw float64 LE, or EMPROFCAP with Content-Type application/x-emprofcap)
+//	GET    /v1/sessions/{id}/profile  live causal snapshot (stalls so far, quality, confidence histogram)
+//	DELETE /v1/sessions/{id}          finalize; returns the full profile
+//	GET    /v1/sessions               list live sessions
+//	GET    /metrics                   Prometheus text format
+//	GET    /debug/pprof/              daemon self-profiling
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"emprof/internal/service"
+	"emprof/internal/version"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7979", "listen address")
+		maxSessions = flag.Int("max-sessions", service.DefaultMaxSessions, "maximum concurrently-open sessions (excess creates get 429)")
+		maxBytes    = flag.Float64("max-session-bytes", service.DefaultMaxSessionBytes, "per-session ingest byte budget (excess uploads get 429)")
+		idleTTL     = flag.Duration("idle-ttl", service.DefaultIdleTTL, "idle time after which a session is finalized and collected")
+		readTimeout = flag.Duration("read-timeout", service.DefaultReadTimeout, "per-request body read deadline")
+		gcInterval  = flag.Duration("gc-interval", 0, "idle-session sweep interval (0 = idle-ttl/4)")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Printf("emprofd %s\n", version.Version)
+		return
+	}
+
+	srv := service.New(service.Config{
+		MaxSessions:     *maxSessions,
+		MaxSessionBytes: int64(*maxBytes),
+		IdleTTL:         *idleTTL,
+		ReadTimeout:     *readTimeout,
+	})
+	stopGC := srv.StartGC(*gcInterval)
+	defer stopGC()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("emprofd %s listening on %s (max %d sessions, %s idle TTL)\n",
+		version.Version, *addr, *maxSessions, *idleTTL)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain handlers, then finalize
+	// every in-flight session so no stream is abandoned mid-pipeline.
+	fmt.Println("emprofd: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "emprofd: shutdown:", err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emprofd:", err)
+	os.Exit(1)
+}

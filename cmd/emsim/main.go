@@ -26,6 +26,7 @@ import (
 
 	"emprof"
 	"emprof/internal/em"
+	"emprof/internal/version"
 )
 
 func main() {
@@ -38,6 +39,8 @@ func main() {
 		noiseFree  = flag.Bool("noise-free", false, "disable probe noise and supply drift")
 		out        = flag.String("o", "capture.cap", "output capture file")
 		truth      = flag.Bool("truth", false, "print ground-truth summary to stdout")
+		serveURL   = flag.String("serve-url", "", "stream the capture to an emprofd daemon at this URL instead of writing a file")
+		showVer    = flag.Bool("version", false, "print version and exit")
 
 		// Sweep mode: run a device × workload × seed × bandwidth grid on a
 		// worker pool and print per-cell analysis results.
@@ -58,6 +61,10 @@ func main() {
 		faultSeed       = flag.Uint64("fault-seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Printf("emsim %s\n", version.Version)
+		return
+	}
 
 	spec := emprof.FaultSpec{
 		DropoutRate:    *faultDropout,
@@ -103,6 +110,10 @@ func main() {
 		}
 		capture = impaired
 		fmt.Printf("injected faults: %s\n", rep)
+	}
+	if *serveURL != "" {
+		serveCapture(*serveURL, *deviceName, capture)
+		return
 	}
 	if err := em.SaveCapture(*out, capture); err != nil {
 		fatal(err)
@@ -168,6 +179,34 @@ func runSweep(devices, workloads, bws string, scale float64, seeds, workers int,
 	if failed > 0 {
 		fatal(fmt.Errorf("%d/%d jobs failed", failed, len(res)))
 	}
+}
+
+// serveCapture streams the capture to an emprofd daemon and prints the
+// final profile the daemon computed — acquisition and analysis with no
+// capture file in between.
+func serveCapture(url, device string, capture *emprof.Capture) {
+	ctx := context.Background()
+	client := emprof.NewClient(url)
+	id, err := client.CreateSession(ctx, emprof.SessionSpec{
+		SampleRate: capture.SampleRate,
+		ClockHz:    capture.ClockHz,
+		Device:     device,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("creating session at %s: %w", url, err))
+	}
+	if err := client.StreamCapture(ctx, id, capture); err != nil {
+		fatal(err)
+	}
+	prof, err := client.Finalize(ctx, id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("streamed %d samples (%.3f ms on %s) to %s, session %s\n",
+		len(capture.Samples), capture.Duration()*1e3, device, url, id)
+	fmt.Printf("profile: misses=%d refresh-stalls=%d stall-cycles=%.0f (%.2f%% of %.0f) quality=%s\n",
+		prof.Misses, prof.RefreshStalls, prof.StallCycles,
+		100*prof.StallFraction(), prof.ExecCycles, prof.Quality)
 }
 
 // splitList splits a comma-separated flag value, dropping empty entries.

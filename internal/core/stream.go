@@ -220,6 +220,38 @@ func (s *StreamAnalyzer) Finalize() *Profile {
 // far; it is also available on the profile after Finalize.
 func (s *StreamAnalyzer) Quality() Quality { return s.mon.q }
 
+// Pushed returns the number of raw samples pushed so far.
+func (s *StreamAnalyzer) Pushed() int64 { return s.n }
+
+// Decided returns the number of positions whose detection decision is
+// final. It trails Pushed by the pipeline latency (smoother group delay +
+// half a normalisation window); only stalls ending at or before this
+// position can appear in a Snapshot.
+func (s *StreamAnalyzer) Decided() int64 { return s.emitted }
+
+// Snapshot returns the profile of the samples analysed so far without
+// disturbing the stream: the analyzer may keep being pushed to afterwards
+// and Finalize still produces its usual result. The snapshot is strictly
+// causal — it contains exactly the stalls whose end had been decided when
+// it was taken (each a prefix of the eventual Finalize output on the same
+// stream), the quality record to date, and ExecCycles covering every
+// pushed sample. Dips still open, or buffered behind the normalisation
+// half-window, are not speculated about.
+//
+// The returned profile shares nothing with the analyzer's internal state;
+// StreamAnalyzer itself is still not safe for concurrent use, so callers
+// interleaving Push and Snapshot from different goroutines must serialise
+// them (the profiling service's session lock does exactly this).
+func (s *StreamAnalyzer) Snapshot() *Profile {
+	p := *s.prof
+	p.Stalls = append([]Stall(nil), s.prof.Stalls...)
+	if s.sampleRate > 0 {
+		p.ExecCycles = float64(s.n) * (s.clockHz / s.sampleRate)
+	}
+	p.Quality = s.mon.q
+	return &p
+}
+
 // ProfileStream runs the streaming analyzer over a whole capture; it is
 // the streaming counterpart of Analyzer.Profile and produces the same
 // result.

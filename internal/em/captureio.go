@@ -1,7 +1,6 @@
 package em
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -13,65 +12,240 @@ import (
 // by little-endian float64 samples.
 const captureMagic = "EMPROFCAP1"
 
-// WriteCapture serialises a capture.
+// headerSize is the full EMPROFCAP header: magic, sample rate, clock
+// frequency, declared sample count.
+const headerSize = len(captureMagic) + 8 + 8 + 8
+
+// MaxDeclaredSamples bounds the sample count a capture header may declare
+// (2^34 samples = 128 GiB of float64s). Headers above it are rejected;
+// below it, readers still allocate incrementally, so a hostile header
+// never costs more memory than the bytes actually supplied.
+const MaxDeclaredSamples = 1 << 34
+
+// writeBlockSamples sizes WriteCapture's encode buffer: 8 KiSamples =
+// 64 KiB per Write call, large enough that syscall and copy overhead
+// amortise away.
+const writeBlockSamples = 8192
+
+// WriteCapture serialises a capture. Samples are encoded in 64 KiB blocks
+// rather than one 8-byte write each, which keeps the per-sample cost to a
+// single PutUint64 and amortised copy.
 func WriteCapture(w io.Writer, c *Capture) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(captureMagic); err != nil {
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, captureMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(c.SampleRate))
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(c.ClockHz))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(int64(len(c.Samples))))
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	for _, v := range []float64{c.SampleRate, c.ClockHz} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+	buf := make([]byte, writeBlockSamples*8)
+	for off := 0; off < len(c.Samples); off += writeBlockSamples {
+		end := off + writeBlockSamples
+		if end > len(c.Samples) {
+			end = len(c.Samples)
+		}
+		block := c.Samples[off:end]
+		for i, v := range block {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf[:len(block)*8]); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(len(c.Samples))); err != nil {
-		return err
-	}
-	buf := make([]byte, 8)
-	for _, v := range c.Samples {
-		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
-		if _, err := bw.Write(buf); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadCapture deserialises a capture written by WriteCapture.
-func ReadCapture(r io.Reader) (*Capture, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(captureMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("em: reading capture header: %w", err)
+// Decoder incrementally decodes a stream of capture bytes, in bounded
+// memory, regardless of how the stream is chunked: bytes may arrive one
+// at a time or in megabyte blocks, across any number of Feed calls, with
+// words and the header split anywhere. It backs both ReadCapture and the
+// profiling service's streaming ingest, where captures arrive over the
+// network and must never be buffered whole.
+//
+// Two wire formats are supported:
+//
+//   - EMPROFCAP (NewStreamDecoder): the WriteCapture format — magic,
+//     sample-rate and clock metadata, a declared sample count, then the
+//     samples. The declared count is validated against
+//     MaxDeclaredSamples but never pre-allocated.
+//   - raw (NewRawDecoder): a headerless stream of little-endian float64
+//     words, for callers that established the acquisition metadata out of
+//     band (the service's session-create call).
+type Decoder struct {
+	raw bool
+
+	// Header accumulation (EMPROFCAP only).
+	hdr     []byte
+	hdrDone bool
+
+	sampleRate float64
+	clockHz    float64
+	declared   int64
+
+	// Word reassembly across Feed boundaries.
+	partial [8]byte
+	np      int
+
+	emitted  int64
+	trailing int64
+	err      error
+}
+
+// NewStreamDecoder returns a decoder for the EMPROFCAP format (header +
+// samples).
+func NewStreamDecoder() *Decoder {
+	return &Decoder{hdr: make([]byte, 0, headerSize)}
+}
+
+// NewRawDecoder returns a decoder for a headerless little-endian float64
+// stream.
+func NewRawDecoder() *Decoder { return &Decoder{raw: true, hdrDone: true} }
+
+// Feed consumes the next chunk of the stream, calling emit once per
+// completed sample, in order. It returns a non-nil error on malformed
+// input (bad magic, implausible metadata); once an error is returned the
+// decoder is poisoned and every later Feed returns the same error.
+func (d *Decoder) Feed(p []byte, emit func(float64)) error {
+	if d.err != nil {
+		return d.err
 	}
-	if string(magic) != captureMagic {
-		return nil, fmt.Errorf("em: not a capture file (magic %q)", magic)
-	}
-	var c Capture
-	if err := binary.Read(br, binary.LittleEndian, &c.SampleRate); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(br, binary.LittleEndian, &c.ClockHz); err != nil {
-		return nil, err
-	}
-	var n int64
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
-	}
-	if n < 0 || n > 1<<34 {
-		return nil, fmt.Errorf("em: implausible sample count %d", n)
-	}
-	if c.SampleRate <= 0 || c.ClockHz <= 0 {
-		return nil, fmt.Errorf("em: invalid capture metadata rate=%v clock=%v", c.SampleRate, c.ClockHz)
-	}
-	c.Samples = make([]float64, n)
-	buf := make([]byte, 8)
-	for i := range c.Samples {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("em: truncated capture at sample %d: %w", i, err)
+	if !d.hdrDone {
+		need := headerSize - len(d.hdr)
+		if need > len(p) {
+			need = len(p)
 		}
-		c.Samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		d.hdr = append(d.hdr, p[:need]...)
+		p = p[need:]
+		if len(d.hdr) < headerSize {
+			return nil
+		}
+		if err := d.parseHeader(); err != nil {
+			d.err = err
+			return err
+		}
+		d.hdrDone = true
 	}
+	for len(p) > 0 {
+		if !d.raw && d.emitted == d.declared {
+			// The declared sample count has been satisfied; anything
+			// further is trailing data the caller may treat as an error
+			// (Trailing) — ReadCapture ignores it, as it always has.
+			d.trailing += int64(len(p))
+			return nil
+		}
+		if d.np > 0 || len(p) < 8 {
+			n := copy(d.partial[d.np:], p)
+			d.np += n
+			p = p[n:]
+			if d.np < 8 {
+				return nil
+			}
+			d.np = 0
+			d.emitted++
+			emit(math.Float64frombits(binary.LittleEndian.Uint64(d.partial[:])))
+			continue
+		}
+		// Fast path: whole words directly from the input chunk.
+		words := len(p) / 8
+		if !d.raw {
+			if rem := d.declared - d.emitted; int64(words) > rem {
+				words = int(rem)
+			}
+		}
+		for i := 0; i < words; i++ {
+			emit(math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:])))
+		}
+		d.emitted += int64(words)
+		p = p[words*8:]
+	}
+	return nil
+}
+
+// parseHeader validates the accumulated EMPROFCAP header.
+func (d *Decoder) parseHeader() error {
+	if string(d.hdr[:len(captureMagic)]) != captureMagic {
+		return fmt.Errorf("em: not a capture file (magic %q)", d.hdr[:len(captureMagic)])
+	}
+	off := len(captureMagic)
+	d.sampleRate = math.Float64frombits(binary.LittleEndian.Uint64(d.hdr[off:]))
+	d.clockHz = math.Float64frombits(binary.LittleEndian.Uint64(d.hdr[off+8:]))
+	d.declared = int64(binary.LittleEndian.Uint64(d.hdr[off+16:]))
+	if d.declared < 0 || d.declared > MaxDeclaredSamples {
+		return fmt.Errorf("em: implausible sample count %d", d.declared)
+	}
+	if !(d.sampleRate > 0) || !(d.clockHz > 0) ||
+		math.IsInf(d.sampleRate, 0) || math.IsInf(d.clockHz, 0) {
+		return fmt.Errorf("em: invalid capture metadata rate=%v clock=%v", d.sampleRate, d.clockHz)
+	}
+	return nil
+}
+
+// HeaderDone reports whether the metadata is available (always true for a
+// raw decoder).
+func (d *Decoder) HeaderDone() bool { return d.hdrDone }
+
+// Meta returns the decoded acquisition metadata and declared sample count;
+// valid once HeaderDone. Raw decoders report zeros.
+func (d *Decoder) Meta() (sampleRate, clockHz float64, declared int64) {
+	return d.sampleRate, d.clockHz, d.declared
+}
+
+// Emitted returns the number of samples decoded so far.
+func (d *Decoder) Emitted() int64 { return d.emitted }
+
+// Complete reports whether the stream forms a whole capture: header
+// parsed, declared count reached, no word fragment pending. Raw streams
+// are complete at any word boundary.
+func (d *Decoder) Complete() bool {
+	if d.err != nil || !d.hdrDone || d.np != 0 {
+		return false
+	}
+	return d.raw || d.emitted == d.declared
+}
+
+// Trailing returns the number of bytes received beyond the declared
+// sample count.
+func (d *Decoder) Trailing() int64 { return d.trailing }
+
+// readChunk sizes ReadCapture's transfer buffer (64 KiB).
+const readChunk = 64 * 1024
+
+// ReadCapture deserialises a capture written by WriteCapture. It reads in
+// bounded chunks and grows the sample slice as data actually arrives, so
+// a truncated or hostile header that declares billions of samples fails
+// after a 64 KiB read, not a 128 GiB allocation.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	d := NewStreamDecoder()
+	var c Capture
+	buf := make([]byte, readChunk)
+	for !d.Complete() {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if ferr := d.Feed(buf[:n], func(v float64) { c.Samples = append(c.Samples, v) }); ferr != nil {
+				return nil, ferr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !d.HeaderDone() {
+		if len(d.hdr) >= len(captureMagic) && string(d.hdr[:len(captureMagic)]) != captureMagic {
+			return nil, fmt.Errorf("em: not a capture file (magic %q)", d.hdr[:len(captureMagic)])
+		}
+		return nil, fmt.Errorf("em: reading capture header: %w", io.ErrUnexpectedEOF)
+	}
+	if !d.Complete() {
+		return nil, fmt.Errorf("em: truncated capture at sample %d: %w", d.Emitted(), io.ErrUnexpectedEOF)
+	}
+	c.SampleRate, c.ClockHz, _ = d.Meta()
+	// A complete capture with zero samples decodes to a nil slice; keep
+	// the round-trip exact for captures written from an empty non-nil
+	// slice by leaving Samples as produced.
 	return &c, nil
 }
 

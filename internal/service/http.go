@@ -1,0 +1,244 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"emprof/internal/core"
+)
+
+// ContentTypeCapture marks an ingest body in the EMPROFCAP file format
+// (header + samples); anything else is treated as ContentTypeRaw.
+const ContentTypeCapture = "application/x-emprofcap"
+
+// ContentTypeRaw marks an ingest body as headerless little-endian float64
+// samples.
+const ContentTypeRaw = "application/octet-stream"
+
+// ingestChunk sizes the per-read transfer buffer for sample ingest.
+const ingestChunk = 64 * 1024
+
+// Server ties the registry, metrics, and HTTP handlers together.
+type Server struct {
+	reg *Registry
+}
+
+// New builds a service with the given limits.
+func New(cfg Config) *Server {
+	return &Server{reg: NewRegistry(cfg, NewMetrics())}
+}
+
+// Registry exposes the session registry (tests and the daemon's GC loop).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close gracefully shuts the service down: every in-flight session is
+// finalized and later requests are answered with 503.
+func (s *Server) Close() { s.reg.Close() }
+
+// StartGC launches the idle-session sweeper at the given interval and
+// returns a function that stops it.
+func (s *Server) StartGC(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = s.reg.cfg.IdleTTL / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				s.reg.Sweep(now)
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.instrument("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions", s.instrument("list", s.handleList))
+	mux.HandleFunc("POST /v1/sessions/{id}/samples", s.instrument("ingest", s.handleIngest))
+	mux.HandleFunc("GET /v1/sessions/{id}/profile", s.instrument("profile", s.handleProfile))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("finalize", s.handleFinalize))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// deadline hooks through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps a handler with per-endpoint request/latency metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.reg.metrics.ObserveRequest(endpoint, sw.code, time.Since(start).Seconds())
+	}
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps registry errors onto status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrFull), errors.Is(err, ErrBudget):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// CreateRequest is the POST /v1/sessions body.
+type CreateRequest struct {
+	// SampleRate and ClockHz are the acquisition metadata of the signal
+	// about to be streamed (required).
+	SampleRate float64 `json:"sample_rate"`
+	ClockHz    float64 `json:"clock_hz"`
+	// Device optionally labels the profiled target.
+	Device string `json:"device,omitempty"`
+	// Config optionally overrides the profiler configuration; omitted
+	// means core.DefaultConfig.
+	Config *core.Config `json:"config,omitempty"`
+}
+
+// CreateResponse is the POST /v1/sessions reply.
+type CreateResponse struct {
+	ID string `json:"id"`
+	// MaxSessionBytes echoes the per-session ingest budget so clients can
+	// size their streams.
+	MaxSessionBytes int64 `json:"max_session_bytes"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("service: bad create body: %w", err))
+		return
+	}
+	cfg := core.DefaultConfig()
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	id, err := s.reg.Create(req.Device, req.SampleRate, req.ClockHz, cfg)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateResponse{ID: id, MaxSessionBytes: s.reg.cfg.MaxSessionBytes})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if s.closedErr(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) closedErr(w http.ResponseWriter) bool {
+	s.reg.mu.Lock()
+	closed := s.reg.closed
+	s.reg.mu.Unlock()
+	if closed {
+		writeErr(w, ErrClosed)
+	}
+	return closed
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.reg.get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Per-request read deadline: a stalled or malicious uploader cannot
+	// pin a session (and its lock) forever.
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Now().Add(s.reg.cfg.ReadTimeout))
+
+	format := formatRaw
+	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeCapture) {
+		format = formatCapture
+	}
+	buf := make([]byte, ingestChunk)
+	next := func() ([]byte, error) {
+		n, rerr := io.ReadFull(r.Body, buf)
+		if rerr == io.ErrUnexpectedEOF {
+			rerr = io.EOF
+		}
+		return buf[:n], rerr
+	}
+	res, err := s.reg.ingest(sess, format, r.ContentLength, next)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.reg.Snapshot(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	prof, err := s.reg.Finalize(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, prof)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.metrics.WriteTo(w, s.reg.ActiveSessions())
+}

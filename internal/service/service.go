@@ -1,0 +1,501 @@
+// Package service implements emprofd, the concurrent profiling service:
+// a session registry where each session wraps one core.StreamAnalyzer,
+// an HTTP API for streaming capture ingest and live profile snapshots,
+// and Prometheus-format metrics. It turns the push-one-sample streaming
+// profiler into the deployment the paper implies — a probe ships EM
+// samples to a collector continuously while the target runs untouched,
+// and the profile is available live, not post-hoc from capture files.
+//
+// Session lifecycle (see DESIGN.md "Profiling service"):
+//
+//	created ──ingest──▶ active ──DELETE──▶ finalized (profile returned, session removed)
+//	   │                   │
+//	   └───────idle TTL────┴──▶ swept by GC (finalized and dropped)
+//
+// The registry is robust by construction: a max-session cap and a
+// per-session byte budget (both answered with 429 so well-behaved
+// clients back off), idle-session GC, per-request read deadlines, and a
+// graceful Close that finalizes every in-flight session.
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"emprof/internal/core"
+	"emprof/internal/em"
+)
+
+// Config tunes the service.
+type Config struct {
+	// MaxSessions caps concurrently-open sessions; creates beyond it are
+	// rejected with 429. 0 means the default (64).
+	MaxSessions int
+	// MaxSessionBytes caps the bytes one session may ingest over its
+	// lifetime; 0 means the default (1 GiB).
+	MaxSessionBytes int64
+	// IdleTTL is how long a session may sit without ingest or snapshot
+	// traffic before the GC finalizes and drops it; 0 means the default
+	// (5 minutes).
+	IdleTTL time.Duration
+	// ReadTimeout is the per-request read deadline applied to ingest
+	// bodies; 0 means the default (30 seconds).
+	ReadTimeout time.Duration
+	// Now overrides the clock, for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxSessions     = 64
+	DefaultMaxSessionBytes = 1 << 30
+	DefaultIdleTTL         = 5 * time.Minute
+	DefaultReadTimeout     = 30 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.MaxSessionBytes <= 0 {
+		c.MaxSessionBytes = DefaultMaxSessionBytes
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = DefaultIdleTTL
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Typed registry errors; the HTTP layer maps them to status codes.
+var (
+	// ErrFull is returned when the registry holds MaxSessions sessions
+	// (HTTP 429: back off and retry).
+	ErrFull = errors.New("service: session registry full")
+	// ErrBudget is returned when an ingest would exceed the session byte
+	// budget before any of it is consumed (HTTP 429).
+	ErrBudget = errors.New("service: session byte budget exhausted")
+	// ErrClosed is returned after Close (HTTP 503).
+	ErrClosed = errors.New("service: shutting down")
+	// ErrNotFound is returned for unknown session IDs (HTTP 404).
+	ErrNotFound = errors.New("service: no such session")
+	// ErrPoisoned is returned when ingesting into a session whose stream
+	// previously failed to decode (HTTP 400).
+	ErrPoisoned = errors.New("service: session stream previously failed")
+)
+
+// session is one live profiling stream.
+type session struct {
+	id         string
+	device     string
+	sampleRate float64
+	clockHz    float64
+	created    time.Time
+
+	mu         sync.Mutex
+	lastActive time.Time
+	an         *core.StreamAnalyzer
+	dec        *em.Decoder // nil until the first ingest chooses a wire format
+	bytes      int64
+	finalized  bool
+	final      *core.Profile
+	poison     error // first decode error; the session rejects further ingest
+}
+
+// SessionInfo is the list-endpoint view of one session.
+type SessionInfo struct {
+	ID              string    `json:"id"`
+	Device          string    `json:"device,omitempty"`
+	State           string    `json:"state"`
+	SampleRate      float64   `json:"sample_rate"`
+	ClockHz         float64   `json:"clock_hz"`
+	BytesIngested   int64     `json:"bytes_ingested"`
+	SamplesIngested int64     `json:"samples_ingested"`
+	Stalls          int       `json:"stalls"`
+	CreatedAt       time.Time `json:"created_at"`
+	LastActiveAt    time.Time `json:"last_active_at"`
+}
+
+// Registry manages the live sessions.
+type Registry struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+}
+
+// NewRegistry builds a registry with the given limits.
+func NewRegistry(cfg Config, m *Metrics) *Registry {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Registry{
+		cfg:      cfg.withDefaults(),
+		metrics:  m,
+		sessions: make(map[string]*session),
+	}
+}
+
+// Metrics returns the registry's metrics sink.
+func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// Config returns the effective (defaulted) configuration.
+func (r *Registry) Config() Config { return r.cfg }
+
+// newSessionID returns a 128-bit random hex ID.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: rand: %v", err)) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create opens a new session wrapping a streaming analyzer for a signal
+// with the given acquisition metadata.
+func (r *Registry) Create(device string, sampleRate, clockHz float64, cfg core.Config) (string, error) {
+	if !(sampleRate > 0) || !(clockHz > 0) {
+		return "", fmt.Errorf("service: invalid acquisition metadata rate=%v clock=%v", sampleRate, clockHz)
+	}
+	an, err := core.NewStreamAnalyzer(cfg, sampleRate, clockHz)
+	if err != nil {
+		return "", err
+	}
+	an.OnStall = func(core.Stall) { r.metrics.StallsDetected.Add(1) }
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return "", ErrClosed
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		r.metrics.SessionsRejected.Add(1)
+		return "", ErrFull
+	}
+	now := r.cfg.Now()
+	s := &session{
+		id:         newSessionID(),
+		device:     device,
+		sampleRate: sampleRate,
+		clockHz:    clockHz,
+		created:    now,
+		lastActive: now,
+		an:         an,
+	}
+	r.sessions[s.id] = s
+	r.metrics.SessionsTotal.Add(1)
+	return s.id, nil
+}
+
+// get looks a session up.
+func (r *Registry) get(id string) (*session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	s, ok := r.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// IngestResult reports the session totals after one ingest call.
+type IngestResult struct {
+	SamplesIngested int64 `json:"samples_ingested"`
+	BytesIngested   int64 `json:"bytes_ingested"`
+}
+
+// wireFormat selects how an ingest body is decoded.
+type wireFormat int
+
+const (
+	// formatRaw is a headerless stream of little-endian float64 samples;
+	// the acquisition metadata came from session creation.
+	formatRaw wireFormat = iota
+	// formatCapture is the EMPROFCAP file format; its header metadata
+	// must match the session's.
+	formatCapture
+)
+
+// ingest feeds one body chunk-by-chunk into the session's decoder and
+// analyzer. next returns successive byte chunks ((nil, io.EOF) at end);
+// the caller owns transport concerns (deadlines, chunk sizing).
+// declaredLen, when >= 0 (a Content-Length), is checked against the byte
+// budget before anything is consumed, so a rejected request ingests
+// nothing and is safe to retry. Bodies without a declared length are
+// cut off mid-stream when the budget runs out.
+func (r *Registry) ingest(s *session, format wireFormat, declaredLen int64, next func() ([]byte, error)) (IngestResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalized {
+		return IngestResult{}, ErrNotFound
+	}
+	if s.poison != nil {
+		return IngestResult{}, fmt.Errorf("%w: %v", ErrPoisoned, s.poison)
+	}
+	if declaredLen >= 0 && s.bytes+declaredLen > r.cfg.MaxSessionBytes {
+		return IngestResult{}, ErrBudget
+	}
+	if s.dec == nil {
+		if format == formatCapture {
+			s.dec = em.NewStreamDecoder()
+		} else {
+			s.dec = em.NewRawDecoder()
+		}
+	}
+	emit := func(v float64) { s.an.Push(v) }
+	for {
+		chunk, err := next()
+		if len(chunk) > 0 {
+			if s.bytes+int64(len(chunk)) > r.cfg.MaxSessionBytes {
+				return r.ingestTotals(s), ErrBudget
+			}
+			before := s.dec.Emitted()
+			if derr := s.dec.Feed(chunk, emit); derr != nil {
+				s.poison = derr
+				return r.ingestTotals(s), derr
+			}
+			s.bytes += int64(len(chunk))
+			r.metrics.IngestBytes.Add(int64(len(chunk)))
+			r.metrics.SamplesIngested.Add(s.dec.Emitted() - before)
+			if !s.headerOK() {
+				s.poison = fmt.Errorf("capture header metadata does not match session (header %v/%v)",
+					headerRate(s.dec), headerClock(s.dec))
+				return r.ingestTotals(s), s.poison
+			}
+			if s.dec.Trailing() > 0 {
+				s.poison = fmt.Errorf("stream continues past the capture's declared sample count")
+				return r.ingestTotals(s), s.poison
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Transport failure (e.g. read deadline) mid-body: the decoded
+			// prefix is kept and the session stays usable, but the caller
+			// must know this request did not land completely.
+			s.lastActive = r.cfg.Now()
+			return r.ingestTotals(s), fmt.Errorf("service: reading ingest body: %w", err)
+		}
+	}
+	s.lastActive = r.cfg.Now()
+	return r.ingestTotals(s), nil
+}
+
+func (r *Registry) ingestTotals(s *session) IngestResult {
+	return IngestResult{SamplesIngested: s.dec.Emitted(), BytesIngested: s.bytes}
+}
+
+// headerOK checks EMPROFCAP header metadata against the session's once
+// the header is available.
+func (s *session) headerOK() bool {
+	if !s.dec.HeaderDone() {
+		return true
+	}
+	rate, clock, _ := s.dec.Meta()
+	if rate == 0 && clock == 0 {
+		return true // raw decoder: no header to check
+	}
+	return rate == s.sampleRate && clock == s.clockHz
+}
+
+func headerRate(d *em.Decoder) float64  { r, _, _ := d.Meta(); return r }
+func headerClock(d *em.Decoder) float64 { _, c, _ := d.Meta(); return c }
+
+// Snapshot is the live-profile view of a session: only causal,
+// already-decided stalls appear (core.StreamAnalyzer.Snapshot), alongside
+// ingest progress and a per-stall confidence histogram.
+type Snapshot struct {
+	ID              string        `json:"id"`
+	Device          string        `json:"device,omitempty"`
+	State           string        `json:"state"`
+	SamplesIngested int64         `json:"samples_ingested"`
+	SamplesDecided  int64         `json:"samples_decided"`
+	BytesIngested   int64         `json:"bytes_ingested"`
+	Profile         *core.Profile `json:"profile"`
+	MeanConfidence  float64       `json:"mean_confidence"`
+	// ConfidenceHist buckets per-stall confidence into ten equal bins
+	// over [0, 1]; bin 9 includes confidence 1.
+	ConfidenceHist [10]int `json:"confidence_hist"`
+}
+
+// Snapshot returns the live profile of a session.
+func (r *Registry) Snapshot(id string) (*Snapshot, error) {
+	s, err := r.get(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastActive = r.cfg.Now()
+	return s.snapshotLocked(), nil
+}
+
+func (s *session) snapshotLocked() *Snapshot {
+	state := "active"
+	if s.finalized {
+		state = "finalized"
+	}
+	prof := s.final
+	if prof == nil {
+		prof = s.an.Snapshot()
+	}
+	snap := &Snapshot{
+		ID:              s.id,
+		Device:          s.device,
+		State:           state,
+		SamplesIngested: s.an.Pushed(),
+		SamplesDecided:  s.an.Decided(),
+		BytesIngested:   s.bytes,
+		Profile:         prof,
+		MeanConfidence:  prof.MeanConfidence(),
+	}
+	for _, st := range prof.Stalls {
+		bin := int(st.Confidence * 10)
+		if bin > 9 {
+			bin = 9
+		}
+		if bin < 0 {
+			bin = 0
+		}
+		snap.ConfidenceHist[bin]++
+	}
+	return snap
+}
+
+// Finalize drains a session's pipeline, removes it from the registry, and
+// returns its final profile — the same profile a batch Analyze of the
+// full capture would produce.
+func (r *Registry) Finalize(id string) (*core.Profile, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s, ok := r.sessions[id]
+	if ok {
+		delete(r.sessions, id)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finalizeLocked()
+	r.metrics.SessionsFinalized.Add(1)
+	return s.final, nil
+}
+
+func (s *session) finalizeLocked() {
+	if !s.finalized {
+		s.final = s.an.Finalize()
+		s.finalized = true
+	}
+}
+
+// List returns every live session, oldest first.
+func (r *Registry) List() []SessionInfo {
+	r.mu.Lock()
+	sessions := make([]*session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		s.mu.Lock()
+		snap := s.an.Snapshot()
+		info := SessionInfo{
+			ID:              s.id,
+			Device:          s.device,
+			State:           "active",
+			SampleRate:      snap.SampleRate,
+			ClockHz:         snap.ClockHz,
+			BytesIngested:   s.bytes,
+			SamplesIngested: s.an.Pushed(),
+			Stalls:          len(snap.Stalls),
+			CreatedAt:       s.created,
+			LastActiveAt:    s.lastActive,
+		}
+		if s.finalized {
+			info.State = "finalized"
+		}
+		s.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedAt.Before(out[j].CreatedAt) })
+	return out
+}
+
+// ActiveSessions returns the number of live sessions.
+func (r *Registry) ActiveSessions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Sweep finalizes and drops every session idle since before now-IdleTTL,
+// returning how many it collected. The daemon calls it periodically; a
+// swept session's profile is discarded (nobody was listening).
+func (r *Registry) Sweep(now time.Time) int {
+	cutoff := now.Add(-r.cfg.IdleTTL)
+	r.mu.Lock()
+	var idle []*session
+	for id, s := range r.sessions {
+		s.mu.Lock()
+		stale := s.lastActive.Before(cutoff)
+		s.mu.Unlock()
+		if stale {
+			idle = append(idle, s)
+			delete(r.sessions, id)
+		}
+	}
+	r.mu.Unlock()
+	for _, s := range idle {
+		s.mu.Lock()
+		s.finalizeLocked()
+		s.mu.Unlock()
+		r.metrics.SessionsGC.Add(1)
+	}
+	return len(idle)
+}
+
+// Close finalizes every in-flight session and rejects all further
+// requests with ErrClosed. It is idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	var open []*session
+	for id, s := range r.sessions {
+		open = append(open, s)
+		delete(r.sessions, id)
+	}
+	r.mu.Unlock()
+	for _, s := range open {
+		s.mu.Lock()
+		s.finalizeLocked()
+		s.mu.Unlock()
+		r.metrics.SessionsFinalized.Add(1)
+	}
+}
