@@ -12,6 +12,7 @@ import (
 	"emprof/internal/core"
 	"emprof/internal/device"
 	"emprof/internal/dsp"
+	"emprof/internal/em"
 	"emprof/internal/experiments"
 	"emprof/internal/mem"
 	"emprof/internal/sim"
@@ -521,4 +522,96 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// --- Synthesis pipeline (CI perf-regression gate) ---
+//
+// CI runs these with -bench='^BenchmarkSynthesis' -benchtime=1x -count=3 as
+// a smoke pass, and embench -bench-synthesis -bench-check BENCH_synthesis.json
+// as the quantitative gate. The ns/cycle metric is wall time per simulated
+// clock cycle through the full simulate→synthesize→capture chain.
+
+// synthBenchSeries mirrors the busy/stall power pattern used by the
+// embench harness (internal/experiments/synthbench.go).
+func synthBenchSeries(n int, seed uint64) []float64 {
+	rng := sim.NewRNG(seed)
+	s := make([]float64, n)
+	busy := true
+	left := 50
+	for i := range s {
+		if left == 0 {
+			busy = !busy
+			if busy {
+				left = 30 + rng.Intn(120)
+			} else {
+				left = 5 + rng.Intn(40)
+			}
+		}
+		left--
+		if busy {
+			s[i] = 1 + 0.3*rng.Float64()
+		} else {
+			s[i] = 0.25
+		}
+	}
+	return s
+}
+
+// BenchmarkSynthesisSeries measures the SynthesizeFromSeries block path on
+// a realistic impaired receiver (decimation 25, noise + drift).
+func BenchmarkSynthesisSeries(b *testing.B) {
+	cfg := em.ReceiverConfig{
+		ClockHz:      1e9,
+		BandwidthHz:  40e6,
+		ProbeGain:    2,
+		SNRdB:        15,
+		DriftPeriodS: 1e-4,
+		DriftDepth:   0.1,
+		Seed:         1,
+	}
+	const cpv = 25
+	vals := synthBenchSeries(1<<20/cpv, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.SynthesizeFromSeries(vals, cpv, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cycles := float64(len(vals) * cpv)
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(b.N)/cycles, "ns/cycle")
+	b.SetBytes(int64(8 * len(vals) * cpv))
+}
+
+// BenchmarkSynthesisEndToEnd measures the full simulate→synthesize→capture
+// chain with the default simulator→receiver batching.
+func BenchmarkSynthesisEndToEnd(b *testing.B) {
+	benchSynthesisEndToEnd(b, 0)
+}
+
+// BenchmarkSynthesisEndToEndPerCycle is the same chain forced to strictly
+// per-cycle delivery — the contrast documents what batching buys.
+func BenchmarkSynthesisEndToEndPerCycle(b *testing.B) {
+	benchSynthesisEndToEnd(b, 1)
+}
+
+func benchSynthesisEndToEnd(b *testing.B, batch int) {
+	run1 := func() *emprof.Run {
+		w, err := emprof.Microbenchmark(128, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := emprof.Simulate(emprof.DeviceOlimex(), w, emprof.CaptureOptions{Seed: 1, BatchCycles: batch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	cycles := run1().Truth.Cycles
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run1()
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(b.N)/float64(cycles), "ns/cycle")
 }

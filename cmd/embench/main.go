@@ -1,16 +1,21 @@
 // Command embench regenerates the paper's tables and figures from the
-// simulated device stack. Examples:
+// simulated device stack, and hosts the synthesis-pipeline benchmark
+// harness used by CI's perf-regression gate. Examples:
 //
 //	embench -list
 //	embench -run table2
 //	embench -run fig12 -scale 2
 //	embench -all
+//	embench -bench-synthesis -bench-out BENCH_synthesis.json
+//	embench -bench-synthesis -bench-check BENCH_synthesis.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -19,6 +24,12 @@ import (
 )
 
 func main() {
+	// realMain keeps its deferred profile writers ahead of the process
+	// exit (os.Exit directly in the flag-handling body would skip them).
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		list  = flag.Bool("list", false, "list available experiments")
 		run   = flag.String("run", "", "comma-separated experiment names (e.g. table2,fig11)")
@@ -27,18 +38,64 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "simulation seed")
 		quick = flag.Bool("quick", false, "shrunken grids for a fast smoke run")
 		ver   = flag.Bool("version", false, "print version and exit")
+
+		benchSynth = flag.Bool("bench-synthesis", false, "run the synthesis pipeline benchmarks")
+		benchCount = flag.Int("bench-count", 3, "benchmark repetitions per case (best run is reported)")
+		benchOut   = flag.String("bench-out", "", "write benchmark results as JSON to this file")
+		benchCheck = flag.String("bench-check", "", "compare results against this baseline JSON; exit non-zero on >2x ns/cycle regression")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *ver {
 		fmt.Printf("embench %s\n", version.Version)
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "embench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "embench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "embench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "embench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *benchSynth {
+		if err := runSynthBench(*benchCount, *quick, *benchOut, *benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "embench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *list {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
 		}
-		return
+		return 0
 	}
 	var names []string
 	switch {
@@ -48,7 +105,7 @@ func main() {
 		names = strings.Split(*run, ",")
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick}
@@ -57,8 +114,35 @@ func main() {
 		start := time.Now()
 		if err := experiments.Run(n, opts, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "embench: %s: %v\n", n, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[%s done in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// runSynthBench runs the benchmark set, optionally writes the JSON report,
+// and optionally gates it against a baseline.
+func runSynthBench(count int, quick bool, outPath, checkPath string) error {
+	rep, err := experiments.RunSynthBench(count, quick, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := experiments.WriteSynthBench(rep, outPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if checkPath != "" {
+		base, err := experiments.LoadSynthBench(checkPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.CompareSynthBench(rep, base, 2.0, os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("benchmark check passed")
+	}
+	return nil
 }

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -59,11 +61,44 @@ func main() {
 		faultBurst      = flag.Float64("fault-burst", 0, "fraction of samples hit by impulsive RF bursts")
 		faultNaN        = flag.Float64("fault-nan", 0, "per-sample probability of NaN corruption")
 		faultSeed       = flag.Uint64("fault-seed", 1, "fault-injection seed")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *showVer {
 		fmt.Printf("emsim %s\n", version.Version)
 		return
+	}
+
+	// Profiles are written on the normal return paths; fatal() exits
+	// directly, so failed runs leave no (partial) profile behind.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "emsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "emsim: memprofile:", err)
+			}
+		}()
 	}
 
 	spec := emprof.FaultSpec{

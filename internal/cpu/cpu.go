@@ -164,9 +164,21 @@ type Core struct {
 
 	sinks power.MultiSink
 
+	// BatchCycles sets the granularity of the power fan-out: per-cycle
+	// values are buffered and handed to the sinks in blocks of this many
+	// cycles (block-capable sinks get one PushBlock call, plain sinks an
+	// equivalent per-cycle stream — the observable result is identical
+	// either way). 0 selects the default; 1 forces the per-cycle path.
+	BatchCycles int
+	batch       []float64
+
 	// MaxCycles aborts runaway simulations (0 = unlimited).
 	MaxCycles uint64
 }
+
+// defaultBatchCycles amortises sink interface calls, filter updates and
+// noise draws without holding a meaningful amount of memory (32 KiB).
+const defaultBatchCycles = 4096
 
 // New builds a core over the given memory system.
 func New(cfg Config, ms *mem.System) (*Core, error) {
@@ -224,6 +236,13 @@ type fetchedInst struct {
 // summary with ground truth.
 func (c *Core) Run(stream sim.Stream) (*Result, error) {
 	cfg := c.cfg
+	bs := c.BatchCycles
+	if bs <= 0 {
+		bs = defaultBatchCycles
+	}
+	if cap(c.batch) != bs || len(c.batch) != 0 {
+		c.batch = make([]float64, 0, bs)
+	}
 	regReady := make([]uint64, cfg.Regs)
 	// missReg marks registers whose pending value comes from an LLC miss,
 	// so idle cycles can be attributed to the memory system only when the
@@ -504,6 +523,7 @@ func (c *Core) Run(stream sim.Stream) (*Result, error) {
 
 		now++
 		if c.MaxCycles > 0 && now >= c.MaxCycles {
+			c.flushBatch()
 			return nil, fmt.Errorf("cpu %s: exceeded MaxCycles=%d", cfg.Name, c.MaxCycles)
 		}
 
@@ -514,6 +534,7 @@ func (c *Core) Run(stream sim.Stream) (*Result, error) {
 		}
 	}
 
+	c.flushBatch()
 	closeStall()
 	closeRegion()
 
@@ -528,10 +549,20 @@ func (c *Core) Run(stream sim.Stream) (*Result, error) {
 	return res, nil
 }
 
-// push fans a cycle's power to the sinks.
+// push buffers one cycle's power; full batches fan out to the sinks as a
+// block. The buffer is sized in Run, so a full batch is cap(c.batch).
 func (c *Core) push(p float64) {
-	for _, s := range c.sinks {
-		s.PushCycle(p)
+	c.batch = append(c.batch, p)
+	if len(c.batch) == cap(c.batch) {
+		c.flushBatch()
+	}
+}
+
+// flushBatch delivers any buffered cycles to the sinks.
+func (c *Core) flushBatch() {
+	if len(c.batch) > 0 {
+		c.sinks.PushBlock(c.batch)
+		c.batch = c.batch[:0]
 	}
 }
 

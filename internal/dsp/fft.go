@@ -86,28 +86,51 @@ func Magnitudes(x []complex128, out []float64) []float64 {
 
 // PowerSpectrum returns |X[k]|^2 / N for the first N/2+1 bins of the FFT of
 // the windowed real signal x zero-padded to a power of two. It is the
-// workhorse behind the spectrogram used for code attribution.
+// workhorse behind the spectrogram used for code attribution. Hot loops
+// that compute many spectra should use PowerSpectrumInto with reused
+// scratch instead.
 func PowerSpectrum(x []float64, window []float64) []float64 {
+	out, _ := PowerSpectrumInto(x, window, nil, nil)
+	return out
+}
+
+// PowerSpectrumInto is PowerSpectrum with caller-provided scratch: cbuf is
+// the complex FFT workspace and out the result buffer, both grown only when
+// too small. It returns the spectrum and the (possibly re-allocated) cbuf
+// so the caller can thread both through a loop — the STFT hot path computes
+// one spectrum per hop and would otherwise allocate an FFT buffer per
+// frame. Passing nil for either buffer allocates it.
+func PowerSpectrumInto(x, window []float64, cbuf []complex128, out []float64) ([]float64, []complex128) {
 	n := len(x)
 	if window != nil && len(window) != n {
 		panic("dsp: window length mismatch")
 	}
 	m := NextPow2(n)
-	buf := make([]complex128, m)
+	if cap(cbuf) < m {
+		cbuf = make([]complex128, m)
+	}
+	cbuf = cbuf[:m]
 	for i := 0; i < n; i++ {
 		v := x[i]
 		if window != nil {
 			v *= window[i]
 		}
-		buf[i] = complex(v, 0)
+		cbuf[i] = complex(v, 0)
 	}
-	FFT(buf)
+	// Zero the padding explicitly: the workspace is reused across calls.
+	for i := n; i < m; i++ {
+		cbuf[i] = 0
+	}
+	FFT(cbuf)
 	half := m/2 + 1
-	out := make([]float64, half)
+	if cap(out) < half {
+		out = make([]float64, half)
+	}
+	out = out[:half]
 	inv := 1 / float64(m)
 	for k := 0; k < half; k++ {
-		re, im := real(buf[k]), imag(buf[k])
+		re, im := real(cbuf[k]), imag(cbuf[k])
 		out[k] = (re*re + im*im) * inv
 	}
-	return out
+	return out, cbuf
 }

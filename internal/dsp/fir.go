@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // FIR is a finite-impulse-response filter with streaming state, used by the
@@ -61,15 +62,87 @@ func (f *FIR) Process(x float64) float64 {
 }
 
 // ProcessBlock filters the block in, writing outputs to out (allocated if
-// nil) and returning it.
+// nil or too small) and returning it. out may alias in (in-place filtering
+// of the same slice is supported); partially-overlapping slices are not.
+//
+// The block kernel convolves against a flat [history | block] scratch
+// buffer instead of per-sample ring indexing, with the inner loop unrolled
+// over a single accumulator so the floating-point addition order — and
+// therefore every output bit — matches a sample-by-sample Process loop
+// exactly. Streaming state carries across blocks: mixing Process and
+// ProcessBlock calls on one filter yields the same stream either way.
 func (f *FIR) ProcessBlock(in, out []float64) []float64 {
-	if out == nil || len(out) < len(in) {
-		out = make([]float64, len(in))
+	n := len(in)
+	if out == nil || cap(out) < n {
+		out = make([]float64, n)
 	}
-	out = out[:len(in)]
-	for i, x := range in {
-		out[i] = f.Process(x)
+	out = out[:n]
+	if n == 0 {
+		return out
 	}
+	t := f.taps
+	nt := len(t)
+	if nt == 1 {
+		c := t[0]
+		last := in[n-1]
+		for i, x := range in {
+			out[i] = c * x
+		}
+		f.hist[0], f.pos = last, 0
+		return out
+	}
+	h := nt - 1
+	sp := getScratch(h + n)
+	ext := *sp
+	// Lay the last h inputs down chronologically (oldest first), then the
+	// block, so x[i-k] is ext[h+i-k] with no wrapping anywhere.
+	idx := f.pos
+	for k := h - 1; k >= 0; k-- {
+		idx--
+		if idx < 0 {
+			idx = len(f.hist) - 1
+		}
+		ext[k] = f.hist[idx]
+	}
+	copy(ext[h:], in)
+	// Four outputs per iteration, one accumulator each. Every output keeps
+	// its own serial addition chain in tap order — bit-identical to the
+	// scalar path — but the four independent chains overlap in the FP
+	// pipeline instead of serialising on a single accumulator's latency.
+	i := 0
+	h4 := h + 4
+	for ; i+4 <= n; i += 4 {
+		// win holds the h+4 samples feeding outputs i..i+3; the fixed-length
+		// reslices let the compiler drop every inner-loop bounds check.
+		win := ext[i:][:h4]
+		var a0, a1, a2, a3 float64
+		// m runs h..0 so tap index h-m runs 0..h: same per-output addition
+		// order as the scalar path, but with loop bounds the compiler can
+		// prove for win[m..m+3].
+		for m := h; m >= 0; m-- {
+			tk := t[h-m]
+			a0 += tk * win[m]
+			a1 += tk * win[m+1]
+			a2 += tk * win[m+2]
+			a3 += tk * win[m+3]
+		}
+		o := out[i : i+4 : i+4]
+		o[0], o[1], o[2], o[3] = a0, a1, a2, a3
+	}
+	for ; i < n; i++ {
+		e := h + i
+		acc := 0.0
+		for k := 0; k < nt; k++ {
+			acc += t[k] * ext[e-k]
+		}
+		out[i] = acc
+	}
+	// Rebuild the delay line for subsequent Process/ProcessBlock calls:
+	// the last len(hist) inputs in chronological order with pos = 0, so
+	// the next write lands on the oldest slot.
+	copy(f.hist, ext[h+n-len(f.hist):h+n])
+	f.pos = 0
+	putScratch(sp)
 	return out
 }
 
@@ -79,16 +152,34 @@ func (f *FIR) GroupDelay() float64 {
 	return float64(len(f.taps)-1) / 2
 }
 
+// lowpassKey identifies one windowed-sinc design in the tap cache.
+type lowpassKey struct {
+	cutoff float64
+	taps   int
+}
+
+// lowpassCache memoises LowpassFIR tap vectors. Sweeps (bandwidth grids,
+// per-job receivers) build the identical filter thousands of times; the
+// design loop with its sin/normalise passes is pure, so the computed taps
+// are shared read-only across all FIR instances with that design.
+var lowpassCache sync.Map // lowpassKey -> []float64
+
 // LowpassFIR designs a windowed-sinc lowpass filter with the given
 // normalized cutoff (cutoff = fc / fs, in (0, 0.5)) and tap count. Odd tap
 // counts give a type-I linear-phase filter. The Hamming window keeps
-// stopband ripple below ~-53 dB, ample for the receiver model.
+// stopband ripple below ~-53 dB, ample for the receiver model. Tap vectors
+// are cached per (cutoff, taps) key, so repeated identical designs cost one
+// map lookup; each returned filter still owns independent streaming state.
 func LowpassFIR(cutoff float64, taps int) *FIR {
 	if cutoff <= 0 || cutoff >= 0.5 {
 		panic(fmt.Sprintf("dsp: lowpass cutoff %v out of (0, 0.5)", cutoff))
 	}
 	if taps < 3 {
 		panic("dsp: lowpass needs at least 3 taps")
+	}
+	key := lowpassKey{cutoff: cutoff, taps: taps}
+	if v, ok := lowpassCache.Load(key); ok {
+		return newFIRShared(v.([]float64))
 	}
 	h := make([]float64, taps)
 	w := Hamming(taps)
@@ -109,7 +200,14 @@ func LowpassFIR(cutoff float64, taps int) *FIR {
 	for i := range h {
 		h[i] /= sum
 	}
-	return NewFIR(h)
+	lowpassCache.Store(key, h)
+	return newFIRShared(h)
+}
+
+// newFIRShared wraps taps the caller guarantees are never mutated (FIR
+// itself only reads them; Taps() hands out copies).
+func newFIRShared(taps []float64) *FIR {
+	return &FIR{taps: taps, hist: make([]float64, len(taps))}
 }
 
 // MovingAverage is an O(1)-per-sample boxcar filter. The paper's Fig. 1
@@ -156,14 +254,49 @@ func (m *MovingAverage) Reset() {
 	m.pos, m.sum, m.full = 0, 0, false
 }
 
-// ProcessBlock applies the moving average to a block.
+// ProcessBlock applies the moving average to a block, writing into out
+// (allocated if nil or too small). out may alias in; partially-overlapping
+// slices are not supported. Output is bit-identical to calling Process per
+// sample: the prefix (warm-up, or lookback still inside the ring buffer)
+// runs the scalar step, then the steady state reads the outgoing sample
+// straight from the input block with no ring indexing, performing the same
+// sum update in the same order.
 func (m *MovingAverage) ProcessBlock(in, out []float64) []float64 {
-	if out == nil || len(out) < len(in) {
-		out = make([]float64, len(in))
+	n := len(in)
+	if out == nil || cap(out) < n {
+		out = make([]float64, n)
 	}
-	out = out[:len(in)]
-	for i, x := range in {
-		out[i] = m.Process(x)
+	out = out[:n]
+	if n == 0 {
+		return out
+	}
+	src := in
+	if &in[0] == &out[0] {
+		// In-place call: the steady-state loop reads in[i-window] after
+		// out[i-window] was written, so keep a pristine copy of the input.
+		sp := getScratch(n)
+		copy(*sp, in)
+		src = *sp
+		defer putScratch(sp)
+	}
+	w := m.n
+	i := 0
+	for ; i < n && (!m.full || i < w); i++ {
+		out[i] = m.Process(src[i])
+	}
+	if i < n {
+		// Steady state: the sample leaving the window is src[i-w].
+		sum := m.sum
+		den := float64(w)
+		for ; i < n; i++ {
+			x := src[i]
+			sum += x - src[i-w]
+			out[i] = sum / den
+		}
+		m.sum = sum
+		// Rebuild the ring with the last w inputs, oldest at pos 0.
+		copy(m.buf, src[n-w:])
+		m.pos = 0
 	}
 	return out
 }

@@ -48,13 +48,35 @@ func (d *Decimator) Process(x float64) (float64, bool) {
 }
 
 // ProcessBlock decimates a whole block, appending outputs to out and
-// returning it.
+// returning it. The anti-aliasing filter runs as one FIR block kernel over
+// pooled scratch and the kept samples are stride-picked from the filtered
+// block, so output is bit-identical to per-sample Process calls (including
+// across blocks whose length is not a multiple of the factor — the phase
+// carries over).
 func (d *Decimator) ProcessBlock(in []float64, out []float64) []float64 {
-	for _, x := range in {
-		if y, ok := d.Process(x); ok {
-			out = append(out, y)
-		}
+	n := len(in)
+	if n == 0 {
+		return out
 	}
+	if d.factor == 1 {
+		// Factor-1 decimators have no filter: pure pass-through.
+		return append(out, in...)
+	}
+	sp := getScratch(n)
+	tmp := *sp
+	if d.filter != nil {
+		d.filter.ProcessBlock(in, tmp)
+	} else {
+		copy(tmp, in)
+	}
+	// Process emits after phase reaches factor: input i is kept iff
+	// phase+i+1 ≡ 0 (mod factor), so the first kept index is
+	// factor-1-phase.
+	for i := d.factor - 1 - d.phase; i < n; i += d.factor {
+		out = append(out, tmp[i])
+	}
+	d.phase = (d.phase + n) % d.factor
+	putScratch(sp)
 	return out
 }
 

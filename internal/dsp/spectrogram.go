@@ -16,15 +16,20 @@ type Spectrogram struct {
 }
 
 // STFT computes a spectrogram with Hann-windowed frames of frameLen
-// samples, advancing hop samples per frame.
+// samples, advancing hop samples per frame. The window comes from the
+// shared cache and one complex FFT workspace is reused across all frames,
+// so per-frame allocation is limited to the retained spectrum itself.
 func STFT(x []float64, sampleRate float64, frameLen, hop int) *Spectrogram {
 	if frameLen <= 0 || hop <= 0 {
 		panic("dsp: STFT frame and hop must be positive")
 	}
-	w := Hann(frameLen)
+	w := HannCached(frameLen)
 	var frames [][]float64
+	var cbuf []complex128
 	for start := 0; start+frameLen <= len(x); start += hop {
-		frames = append(frames, PowerSpectrum(x[start:start+frameLen], w))
+		var frame []float64
+		frame, cbuf = PowerSpectrumInto(x[start:start+frameLen], w, cbuf, nil)
+		frames = append(frames, frame)
 	}
 	return &Spectrogram{
 		Frames:     frames,

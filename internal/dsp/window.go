@@ -1,10 +1,29 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Hann returns an n-point Hann window.
 func Hann(n int) []float64 {
 	return cosineWindow(n, []float64{0.5, -0.5})
+}
+
+// hannCache memoises Hann windows by length for the spectrogram and sweep
+// hot paths, which rebuild the identical window per STFT / per job.
+var hannCache sync.Map // int -> []float64
+
+// HannCached returns an n-point Hann window shared across callers. The
+// returned slice is cached and MUST NOT be mutated; use Hann for a private
+// copy.
+func HannCached(n int) []float64 {
+	if v, ok := hannCache.Load(n); ok {
+		return v.([]float64)
+	}
+	w := Hann(n)
+	hannCache.Store(n, w)
+	return w
 }
 
 // Hamming returns an n-point Hamming window.

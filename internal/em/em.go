@@ -163,6 +163,11 @@ type Receiver struct {
 	phase    float64
 
 	samples []float64
+
+	// Block-path scratch, reused across PushBlock calls so steady-state
+	// synthesis allocates nothing per block.
+	envBuf   []float64
+	noiseBuf []float64
 }
 
 // NewReceiver builds a receiver; returns an error on invalid config.
@@ -221,6 +226,85 @@ func (r *Receiver) PushCycle(p float64) {
 	}
 }
 
+// PushBlock implements power.BlockSink: it consumes a whole block of
+// per-cycle power values at once. The integrate-and-dump window state
+// (acc, n) carries across block boundaries, the RBW filter runs as one FIR
+// block kernel, and the noise draws are batched — but every floating-point
+// operation happens in the same order as the scalar path, so the recorded
+// capture is bit-identical to feeding the same cycles through PushCycle.
+// This is the synthesis fast path: the per-cycle route costs an interface
+// call plus filter ring indexing per clock cycle, the block route amortises
+// all of that over thousands of cycles.
+func (r *Receiver) PushBlock(ps []float64) {
+	// Finish any partial integration window sample by sample (at most
+	// decim-1 iterations, and at most one emitted sample).
+	for len(ps) > 0 && r.n > 0 {
+		r.PushCycle(ps[0])
+		ps = ps[1:]
+	}
+	d := r.decim
+	nw := len(ps) / d
+	if nw > 0 {
+		if cap(r.envBuf) < nw {
+			r.envBuf = make([]float64, nw)
+		}
+		env := r.envBuf[:nw]
+		den := float64(d)
+		// Dump eight windows at a time: each window keeps its own serial
+		// accumulator (so its addition order — and result bits — match the
+		// scalar acc += p chain exactly), but the eight independent chains
+		// interleave, hiding FP-add latency the scalar path cannot.
+		w := 0
+		for ; w+8 <= nw; w += 8 {
+			// Reslicing each window to exactly d lets the compiler prove
+			// b?[j] in bounds for j < d, keeping the inner loop check-free.
+			base := ps[w*d:]
+			b0 := base[:d]
+			b1 := base[d:][:d]
+			b2 := base[2*d:][:d]
+			b3 := base[3*d:][:d]
+			b4 := base[4*d:][:d]
+			b5 := base[5*d:][:d]
+			b6 := base[6*d:][:d]
+			b7 := base[7*d:][:d]
+			var a0, a1, a2, a3, a4, a5, a6, a7 float64
+			for j := 0; j < d; j++ {
+				a0 += b0[j]
+				a1 += b1[j]
+				a2 += b2[j]
+				a3 += b3[j]
+				a4 += b4[j]
+				a5 += b5[j]
+				a6 += b6[j]
+				a7 += b7[j]
+			}
+			o := env[w : w+8 : w+8]
+			o[0] = a0 / den
+			o[1] = a1 / den
+			o[2] = a2 / den
+			o[3] = a3 / den
+			o[4] = a4 / den
+			o[5] = a5 / den
+			o[6] = a6 / den
+			o[7] = a7 / den
+		}
+		for ; w < nw; w++ {
+			acc := 0.0
+			for _, v := range ps[w*d : (w+1)*d] {
+				acc += v
+			}
+			env[w] = acc / den
+		}
+		r.emitBlock(env)
+		ps = ps[nw*d:]
+	}
+	// Leftover cycles open the next partial window.
+	for _, v := range ps {
+		r.acc += v
+		r.n++
+	}
+}
+
 // Flush emits any partial final integration window.
 func (r *Receiver) Flush() {
 	if r.n > 0 {
@@ -229,12 +313,11 @@ func (r *Receiver) Flush() {
 	}
 }
 
-// emit applies RBW smoothing and the acquisition impairments to one
-// envelope sample, then records the received magnitude.
-func (r *Receiver) emit(env float64) {
-	if r.rbw != nil {
-		env = r.rbw.Process(env)
-	}
+// impair applies probe gain, supply drift and complex AWGN to one envelope
+// sample; n1/n2 are the I/Q noise draws (ignored when noise is disabled).
+// It is the single impairment implementation shared by the scalar and
+// block paths so the two cannot drift apart.
+func (r *Receiver) impair(env, n1, n2 float64) float64 {
 	gain := r.cfg.ProbeGain
 	if r.driftW > 0 {
 		gain *= 1 + r.cfg.DriftDepth*math.Sin(r.phase)
@@ -248,11 +331,59 @@ func (r *Receiver) emit(env float64) {
 		// Complex AWGN on the baseband: the recorded magnitude is
 		// |A + n_I + j n_Q|, which yields the Rician noise floor real
 		// captures show during stalls.
-		i := mag + gain*r.noiseSig*r.rng.NormFloat64()
-		q := gain * r.noiseSig * r.rng.NormFloat64()
-		mag = math.Hypot(i, q)
+		// sqrt(i*i+q*q) rather than math.Hypot: the envelope samples sit
+		// comfortably inside float64 range, and Hypot's overflow-proof
+		// scaling costs several times the plain form on this hot path.
+		i := mag + gain*r.noiseSig*n1
+		q := gain * r.noiseSig * n2
+		mag = math.Sqrt(i*i + q*q)
 	}
-	r.samples = append(r.samples, mag)
+	return mag
+}
+
+// emit applies RBW smoothing and the acquisition impairments to one
+// envelope sample, then records the received magnitude.
+func (r *Receiver) emit(env float64) {
+	if r.rbw != nil {
+		env = r.rbw.Process(env)
+	}
+	var n1, n2 float64
+	if r.noiseSig > 0 {
+		n1 = r.rng.NormFloat64()
+		n2 = r.rng.NormFloat64()
+	}
+	r.samples = append(r.samples, r.impair(env, n1, n2))
+}
+
+// emitBlock is emit over a whole envelope block: one RBW FIR block kernel
+// (in place over the scratch), one batched noise draw, then the per-sample
+// impairment chain. env is scratch owned by the receiver and is clobbered.
+func (r *Receiver) emitBlock(env []float64) {
+	if free := cap(r.samples) - len(r.samples); free < len(env) {
+		// Grow geometrically but in one step, rather than letting append
+		// re-copy the capture several times per large block.
+		grown := make([]float64, len(r.samples), 2*cap(r.samples)+len(env))
+		copy(grown, r.samples)
+		r.samples = grown
+	}
+	if r.rbw != nil {
+		r.rbw.ProcessBlock(env, env)
+	}
+	if r.noiseSig > 0 {
+		if cap(r.noiseBuf) < 2*len(env) {
+			r.noiseBuf = make([]float64, 2*len(env))
+		}
+		noise := r.noiseBuf[:2*len(env)]
+		r.rng.NormFloat64s(noise)
+		for i, e := range env {
+			env[i] = r.impair(e, noise[2*i], noise[2*i+1])
+		}
+	} else {
+		for i, e := range env {
+			env[i] = r.impair(e, 0, 0)
+		}
+	}
+	r.samples = append(r.samples, env...)
 }
 
 // Capture returns the received signal acquired so far.
@@ -267,7 +398,9 @@ func (r *Receiver) Capture() *Capture {
 // SynthesizeFromSeries runs a pre-computed activity series (one value per
 // cyclesPerValue cycles) through an identical impairment chain. It is used
 // for the memory-probe signal, which is rasterised from the DRAM burst
-// trace rather than streamed per cycle.
+// trace rather than streamed per cycle. The per-cycle expansion is batched
+// into blocks and fed through PushBlock, which is bit-identical to — and
+// much faster than — pushing every cycle individually.
 func SynthesizeFromSeries(series []float64, cyclesPerValue int, cfg ReceiverConfig) (*Capture, error) {
 	if cyclesPerValue <= 0 {
 		return nil, fmt.Errorf("em: cyclesPerValue %d <= 0", cyclesPerValue)
@@ -276,10 +409,29 @@ func SynthesizeFromSeries(series []float64, cyclesPerValue int, cfg ReceiverConf
 	if err != nil {
 		return nil, err
 	}
+	const blockCycles = 4096
+	buf := make([]float64, 0, blockCycles)
 	for _, v := range series {
-		for c := 0; c < cyclesPerValue; c++ {
-			r.PushCycle(v)
+		left := cyclesPerValue
+		for left > 0 {
+			room := cap(buf) - len(buf)
+			if room == 0 {
+				r.PushBlock(buf)
+				buf = buf[:0]
+				room = cap(buf)
+			}
+			take := left
+			if take > room {
+				take = room
+			}
+			for i := 0; i < take; i++ {
+				buf = append(buf, v)
+			}
+			left -= take
 		}
+	}
+	if len(buf) > 0 {
+		r.PushBlock(buf)
 	}
 	r.Flush()
 	return r.Capture(), nil

@@ -14,7 +14,7 @@ import (
 // powerSpectrum is a small Hann-windowed spectrum helper for figure
 // summaries.
 func powerSpectrum(x []float64) []float64 {
-	return dsp.PowerSpectrum(x, dsp.Hann(len(x)))
+	return dsp.PowerSpectrum(x, dsp.HannCached(len(x)))
 }
 
 // SignalFigure is a generic signal-shape figure result: one or two series

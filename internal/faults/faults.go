@@ -315,6 +315,37 @@ func (inj *Injector) Process(x float64) float64 {
 	return x
 }
 
+// ProcessBlock applies the impairment chain to a block of samples, writing
+// into out (allocated if nil or too small; out may alias in) and returning
+// it. Output and report are identical to calling Process per sample. When
+// no stochastic impairment is armed — every rate zero and no burst or
+// dropout run open — the chain provably reduces to the static gain, and
+// the block collapses to one vectorized multiply with no RNG traffic;
+// otherwise the scalar chain runs per sample, consuming the same draws in
+// the same order.
+func (inj *Injector) ProcessBlock(in, out []float64) []float64 {
+	n := len(in)
+	if out == nil || cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	if inj.pStep == 0 && inj.driftSigma == 0 && inj.burstLeft == 0 && inj.pBurst == 0 &&
+		inj.dropLeft == 0 && inj.pDrop == 0 && inj.pNaN == 0 && inj.spec.ClipLevel == 0 {
+		// The level tracker is unobservable with bursts disabled, so it
+		// need not advance here.
+		g := inj.gain
+		for i, x := range in {
+			out[i] = x * g
+		}
+		inj.n += n
+		return out
+	}
+	for i, x := range in {
+		out[i] = inj.Process(x)
+	}
+	return out
+}
+
 // lastEvent returns the most recent event of the given kind so an ongoing
 // run can extend its End. It assumes such an event exists (the run was
 // opened when the event was appended).
@@ -343,8 +374,6 @@ func Apply(c *em.Capture, spec Spec) (*em.Capture, *Report, error) {
 		return nil, nil, err
 	}
 	out := c.Clone()
-	for i, x := range out.Samples {
-		out.Samples[i] = inj.Process(x)
-	}
+	inj.ProcessBlock(out.Samples, out.Samples)
 	return out, inj.Report(), nil
 }

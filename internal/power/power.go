@@ -87,6 +87,17 @@ type Sink interface {
 	PushCycle(p float64)
 }
 
+// BlockSink is implemented by sinks that can consume a whole block of
+// consecutive per-cycle power values at once. A block push must be
+// observationally identical to pushing every value through PushCycle in
+// order — implementations batch purely for speed (amortising interface
+// calls, filter state updates and noise draws over thousands of cycles).
+type BlockSink interface {
+	Sink
+	// PushBlock receives the power drawn in len(ps) consecutive cycles.
+	PushBlock(ps []float64)
+}
+
 // MultiSink fans one power stream out to several sinks.
 type MultiSink []Sink
 
@@ -94,6 +105,20 @@ type MultiSink []Sink
 func (m MultiSink) PushCycle(p float64) {
 	for _, s := range m {
 		s.PushCycle(p)
+	}
+}
+
+// PushBlock implements BlockSink: block-capable sinks receive the whole
+// slice, anything else gets the equivalent per-cycle stream.
+func (m MultiSink) PushBlock(ps []float64) {
+	for _, s := range m {
+		if bs, ok := s.(BlockSink); ok {
+			bs.PushBlock(ps)
+			continue
+		}
+		for _, p := range ps {
+			s.PushCycle(p)
+		}
 	}
 }
 
@@ -123,6 +148,40 @@ func (s *IntervalSampler) PushCycle(p float64) {
 	if s.n == s.cyclesPerSample {
 		s.samples = append(s.samples, s.acc/float64(s.n))
 		s.acc, s.n = 0, 0
+	}
+}
+
+// PushBlock implements BlockSink. The windowed averages are bit-identical
+// to the per-cycle path: each window keeps its own serial accumulation
+// order, only the per-cycle call overhead is amortised.
+func (s *IntervalSampler) PushBlock(ps []float64) {
+	// Finish any open window cycle by cycle (at most one emitted sample).
+	for len(ps) > 0 && s.n > 0 {
+		s.PushCycle(ps[0])
+		ps = ps[1:]
+	}
+	d := s.cyclesPerSample
+	nw := len(ps) / d
+	if nw > 0 {
+		if free := cap(s.samples) - len(s.samples); free < nw {
+			grown := make([]float64, len(s.samples), 2*cap(s.samples)+nw)
+			copy(grown, s.samples)
+			s.samples = grown
+		}
+		den := float64(d)
+		for w := 0; w < nw; w++ {
+			win := ps[w*d:][:d]
+			acc := 0.0
+			for _, v := range win {
+				acc += v
+			}
+			s.samples = append(s.samples, acc/den)
+		}
+		ps = ps[nw*d:]
+	}
+	for _, v := range ps {
+		s.acc += v
+		s.n++
 	}
 }
 

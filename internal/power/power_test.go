@@ -95,3 +95,81 @@ func TestFlushEmptyIsNoop(t *testing.T) {
 		t.Fatal("flush of empty sampler emitted a sample")
 	}
 }
+
+// recordSink is a plain per-cycle Sink (deliberately not a BlockSink) used
+// to check the MultiSink fallback path.
+type recordSink struct{ got []float64 }
+
+func (r *recordSink) PushCycle(p float64) { r.got = append(r.got, p) }
+
+// TestMultiSinkBlockFanout checks that PushBlock hands block-capable sinks
+// the whole slice and replays a per-cycle stream into plain sinks, with
+// both observing the identical sequence.
+func TestMultiSinkBlockFanout(t *testing.T) {
+	plain := &recordSink{}
+	block := NewIntervalSampler(1) // cyclesPerSample 1: samples echo inputs
+	m := MultiSink{plain, block}
+	in := []float64{1, 2, 3, 4, 5, 6, 7}
+	m.PushBlock(in[:3])
+	m.PushBlock(nil)
+	m.PushBlock(in[3:])
+	if len(plain.got) != len(in) {
+		t.Fatalf("plain sink saw %d cycles, want %d", len(plain.got), len(in))
+	}
+	for i, v := range in {
+		if plain.got[i] != v {
+			t.Fatalf("plain sink cycle %d = %v, want %v", i, plain.got[i], v)
+		}
+		if block.Samples()[i] != v {
+			t.Fatalf("block sink sample %d = %v, want %v", i, block.Samples()[i], v)
+		}
+	}
+}
+
+// TestIntervalSamplerPushBlockBitIdentical drives the sampler through every
+// mix of block and scalar pushes and requires bitwise equality with the
+// pure per-cycle path, including partial windows left open across calls.
+func TestIntervalSamplerPushBlockBitIdentical(t *testing.T) {
+	in := make([]float64, 10007)
+	x := 0.5
+	for i := range in {
+		x = 4 * x * (1 - x) // deterministic chaotic values
+		in[i] = x
+	}
+	for _, cps := range []int{1, 3, 20, 64, 997} {
+		ref := NewIntervalSampler(cps)
+		for _, p := range in {
+			ref.PushCycle(p)
+		}
+		ref.Flush()
+		want := ref.Samples()
+
+		s := NewIntervalSampler(cps)
+		// Alternate scalar pushes and ragged block sizes.
+		pos := 0
+		for i := 0; pos < len(in); i++ {
+			n := (i*i*31 + 7) % 400
+			if n > len(in)-pos {
+				n = len(in) - pos
+			}
+			if i%3 == 0 {
+				for _, p := range in[pos : pos+n] {
+					s.PushCycle(p)
+				}
+			} else {
+				s.PushBlock(in[pos : pos+n])
+			}
+			pos += n
+		}
+		s.Flush()
+		got := s.Samples()
+		if len(got) != len(want) {
+			t.Fatalf("cps %d: %d samples, want %d", cps, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cps %d sample %d: %v != %v", cps, i, got[i], want[i])
+			}
+		}
+	}
+}

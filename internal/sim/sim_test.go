@@ -81,6 +81,48 @@ func TestRNGFloat64Range(t *testing.T) {
 	}
 }
 
+// TestRNGNormFloat64Tails checks the ziggurat generator's tail mass and
+// symmetry against the standard normal: P(|X|>1), P(|X|>2) and P(|X|>3)
+// must match Φ within sampling tolerance, and signs must be balanced.
+// These are exactly the regions a mis-built ziggurat table distorts.
+func TestRNGNormFloat64Tails(t *testing.T) {
+	r := NewRNG(21)
+	const n = 400000
+	var over1, over2, over3, pos int
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		a := math.Abs(v)
+		if a > 1 {
+			over1++
+		}
+		if a > 2 {
+			over2++
+		}
+		if a > 3 {
+			over3++
+		}
+		if v > 0 {
+			pos++
+		}
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"P(|X|>1)", float64(over1) / n, 0.31731, 0.005},
+		{"P(|X|>2)", float64(over2) / n, 0.04550, 0.002},
+		{"P(|X|>3)", float64(over3) / n, 0.00270, 0.0006},
+		{"P(X>0)", float64(pos) / n, 0.5, 0.005},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s = %v, want %v ± %v", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
 func TestRNGNormFloat64Moments(t *testing.T) {
 	r := NewRNG(5)
 	const n = 50000

@@ -31,6 +31,11 @@ type CaptureOptions struct {
 	// MemoryProbe additionally synthesizes the main-memory EM signal from
 	// the DRAM activity trace (the dual-probe experiment of Fig. 10).
 	MemoryProbe bool
+	// BatchCycles sets how many simulated cycles of power are buffered
+	// before fanning out to the receiver chain (0 = default, 1 = strictly
+	// per-cycle). The recorded signals are bit-identical for every batch
+	// size; larger batches only amortise the simulator→receiver boundary.
+	BatchCycles int
 }
 
 // Run is the outcome of one simulated acquisition.
@@ -65,6 +70,7 @@ func Simulate(dev Device, w Workload, opts CaptureOptions) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.BatchCycles = opts.BatchCycles
 
 	bw := opts.BandwidthHz
 	if bw == 0 {
