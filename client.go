@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"emprof/internal/service"
@@ -59,6 +61,11 @@ type Client struct {
 	// ChunkSamples is the number of samples per upload request in
 	// StreamCapture (default 65536, i.e. 512 KiB bodies).
 	ChunkSamples int
+
+	// legacy latches once the daemon is detected to predate the /v1
+	// surface (its mux answers /v1 paths with a plain-text 404); requests
+	// are then issued on the unversioned routes.
+	legacy atomic.Bool
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -107,20 +114,9 @@ func transientStatus(code int) bool {
 	return false
 }
 
-// APIError is a non-2xx daemon response.
-type APIError struct {
-	StatusCode int
-	Message    string
-}
-
-func (e *APIError) Error() string {
-	return fmt.Sprintf("emprofd: HTTP %d: %s", e.StatusCode, e.Message)
-}
-
 // do issues one request with retry/backoff, decoding a JSON response into
 // out when it is non-nil. body, when non-nil, is replayed on each retry.
 func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentType string, body []byte, out any) error {
-	url := c.BaseURL + path
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
 		if attempt > 0 {
@@ -130,11 +126,15 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 			case <-time.After(c.retryDelay(attempt - 1)):
 			}
 		}
+		p := path
+		if c.legacy.Load() {
+			p = strings.TrimPrefix(p, "/v1")
+		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+p, rd)
 		if err != nil {
 			return err
 		}
@@ -162,6 +162,15 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 		}
 		var ae apiError
 		_ = json.Unmarshal(data, &ae)
+		if resp.StatusCode == http.StatusNotFound && ae.Error == "" &&
+			!c.legacy.Load() && strings.HasPrefix(path, "/v1/") {
+			// A plain-text 404 (no service error body) on a /v1 path means
+			// the daemon predates the versioned surface: latch legacy mode
+			// and replay immediately on the unversioned route.
+			c.legacy.Store(true)
+			attempt--
+			continue
+		}
 		lastErr = &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
 		retryable := transientStatus(resp.StatusCode)
 		if mode == retry429Only {
@@ -171,7 +180,7 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 			return lastErr
 		}
 	}
-	return fmt.Errorf("emprofd: retries exhausted: %w", lastErr)
+	return fmt.Errorf("%w: %w", ErrRetriesExhausted, lastErr)
 }
 
 // apiError mirrors the service's error body.
@@ -251,6 +260,22 @@ func (c *Client) Finalize(ctx context.Context, id string) (*Profile, error) {
 		return nil, err
 	}
 	return &prof, nil
+}
+
+// SessionTrace is the trace endpoint's view of a session: the analyzer's
+// retained decision events (oldest first) with drop accounting.
+type SessionTrace = service.TraceResponse
+
+// Trace fetches a session's retained decision-trace events — the ring of
+// recent DipCandidate/StallAccepted/StallRejected/Resync/QualityFlag
+// records the daemon keeps per session — without disturbing the stream.
+// Requires a daemon new enough to serve /v1/sessions/{id}/trace.
+func (c *Client) Trace(ctx context.Context, id string) (*SessionTrace, error) {
+	var tr SessionTrace
+	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions/"+id+"/trace", "", nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // ListSessions returns the daemon's live sessions.

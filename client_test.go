@@ -2,9 +2,11 @@ package emprof_test
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -182,10 +184,120 @@ func TestClientRetriesBackpressure(t *testing.T) {
 		t.Fatalf("ingested %d after retries, want exactly 100 (no double-count)", snap.SamplesIngested)
 	}
 
-	// A 404 is terminal: no retry loop, immediate error.
-	if _, err := client.Profile(ctx, "doesnotexist"); err == nil {
+	// A 404 is terminal: no retry loop, immediate error, and it matches
+	// the exported sentinel through errors.Is/As.
+	_, err = client.Profile(ctx, "doesnotexist")
+	if err == nil {
 		t.Fatal("profile of unknown session succeeded")
-	} else if ae, ok := err.(*emprof.APIError); !ok || ae.StatusCode != http.StatusNotFound {
+	}
+	if !errors.Is(err, emprof.ErrSessionNotFound) {
+		t.Fatalf("want ErrSessionNotFound, got %v", err)
+	}
+	var ae *emprof.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
 		t.Fatalf("want APIError 404, got %v", err)
+	}
+	if errors.Is(err, emprof.ErrBadCapture) {
+		t.Fatalf("404 must not match ErrBadCapture: %v", err)
+	}
+}
+
+// TestClientTrace streams a capture and fetches the session's decision
+// trace: the accepted-stall events must reconcile with the final profile.
+func TestClientTrace(t *testing.T) {
+	capture := simCapture(t)
+	_, ts := startDaemon(t, service.Config{})
+	client := emprof.NewClient(ts.URL)
+	ctx := context.Background()
+	id, err := client.CreateSession(ctx, emprof.SessionSpec{
+		SampleRate: capture.SampleRate, ClockHz: capture.ClockHz,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.StreamCapture(ctx, id, capture); err != nil {
+		t.Fatal(err)
+	}
+	// The trace is causal, like the snapshot: both reflect what the
+	// pipeline has decided so far, so their stall counts must agree.
+	snap, err := client.Profile(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := client.Trace(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Enabled {
+		t.Fatal("daemon tracing should be enabled by default")
+	}
+	prof, err := client.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for _, rec := range tr.Records {
+		if rec.Type == "stall_accepted" {
+			accepted++
+		}
+	}
+	if accepted == 0 || accepted != len(snap.Profile.Stalls) {
+		t.Errorf("trace has %d stall_accepted events, snapshot has %d stalls",
+			accepted, len(snap.Profile.Stalls))
+	}
+	// Finalize drains the detector's lookahead tail, so the final profile
+	// can only add stalls past the traced ones.
+	if accepted > len(prof.Stalls) {
+		t.Errorf("trace has %d stall_accepted events, final profile only %d stalls",
+			accepted, len(prof.Stalls))
+	}
+
+	if _, err := client.Trace(ctx, id); !errors.Is(err, emprof.ErrSessionNotFound) {
+		t.Errorf("trace of finalized session: got %v, want ErrSessionNotFound", err)
+	}
+}
+
+// TestClientLegacyFallback fronts the daemon with a pre-versioning facade
+// (plain-text 404 on every /v1 path, like an old mux) and checks the
+// client transparently falls back to the unversioned routes.
+func TestClientLegacyFallback(t *testing.T) {
+	capture := simCapture(t)
+	want, err := emprof.Analyze(capture, emprof.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := startDaemon(t, service.Config{})
+	inner := srv.Handler()
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer old.Close()
+
+	client := emprof.NewClient(old.URL)
+	ctx := context.Background()
+	id, err := client.CreateSession(ctx, emprof.SessionSpec{
+		SampleRate: capture.SampleRate, ClockHz: capture.ClockHz,
+	})
+	if err != nil {
+		t.Fatalf("create against legacy daemon: %v", err)
+	}
+	if err := client.StreamCapture(ctx, id, capture); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("profile through legacy fallback differs from Analyze")
+	}
+	// A genuine 404 (JSON error body) must still surface, not re-trigger
+	// fallback probing.
+	if _, err := client.Profile(ctx, id); !errors.Is(err, emprof.ErrSessionNotFound) {
+		t.Fatalf("finalized session on legacy daemon: got %v, want ErrSessionNotFound", err)
 	}
 }

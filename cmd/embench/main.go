@@ -8,6 +8,7 @@
 //	embench -all
 //	embench -bench-synthesis -bench-out BENCH_synthesis.json
 //	embench -bench-synthesis -bench-check BENCH_synthesis.json
+//	embench -bench-observer-guard
 package main
 
 import (
@@ -43,6 +44,7 @@ func realMain() int {
 		benchCount = flag.Int("bench-count", 3, "benchmark repetitions per case (best run is reported)")
 		benchOut   = flag.String("bench-out", "", "write benchmark results as JSON to this file")
 		benchCheck = flag.String("bench-check", "", "compare results against this baseline JSON; exit non-zero on >2x ns/cycle regression")
+		benchGuard = flag.Bool("bench-observer-guard", false, "verify the trace layer's nil-observer fast path: 0 allocs/op steady state and <3% ns/cycle observer overhead")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -88,6 +90,15 @@ func realMain() int {
 			fmt.Fprintf(os.Stderr, "embench: %v\n", err)
 			return 1
 		}
+		return 0
+	}
+
+	if *benchGuard {
+		if err := experiments.RunObserverGuard(*benchCount, *quick, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "embench: %v\n", err)
+			return 1
+		}
+		fmt.Println("observer guard passed")
 		return 0
 	}
 

@@ -5,10 +5,12 @@
 //	emprof -i run.cap
 //	emprof -i run.cap -hist -rate
 //	emprof -i run.cap -enter 0.3 -min-stall 120e-9
-//	emprof -i long.cap -workers 0    # parallel analysis, same results
+//	emprof -i long.cap -workers 0      # parallel analysis, same results
+//	emprof -i run.cap -trace out.jsonl # record every analyzer decision
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,7 @@ func main() {
 		rate     = flag.Bool("rate", false, "print the miss rate over time")
 		events   = flag.Int("events", 0, "print the first N detected stalls")
 		workers  = flag.Int("workers", 1, "analysis worker count: 1 = sequential, 0 = GOMAXPROCS; results are identical either way")
+		traceOut = flag.String("trace", "", "write the analyzer's decision trace (dip candidates, accepts, rejects, resyncs, stage timings) to this JSONL file")
 		showVer  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -58,14 +61,29 @@ func main() {
 		cfg.NormWindowS = *window
 	}
 
-	var prof *emprof.Profile
-	if *workers == 1 {
-		prof, err = emprof.Analyze(cap, cfg)
-	} else {
-		prof, err = emprof.AnalyzeParallel(cap, cfg, *workers)
+	opts := []emprof.Option{emprof.WithWorkers(*workers)}
+	var rec *emprof.TraceJSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rec = emprof.NewTraceJSONL(f)
+		opts = append(opts, emprof.WithObserver(rec))
 	}
+	an, err := emprof.NewAnalyzer(cfg, opts...)
 	if err != nil {
 		fatal(err)
+	}
+	prof, err := an.Run(context.Background(), cap)
+	if err != nil {
+		fatal(err)
+	}
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
 	}
 
 	fmt.Printf("capture: %d samples at %.2f MHz, clock %.3f GHz, %.3f ms\n",

@@ -11,14 +11,16 @@
 //	curl -s localhost:7979/v1/sessions
 //	curl -s localhost:7979/metrics
 //
-// API (JSON unless noted):
+// API (JSON unless noted; every /v1 route is also served at its bare
+// unversioned path for pre-versioning clients):
 //
 //	POST   /v1/sessions               open a session {sample_rate, clock_hz, device?, config?}
 //	POST   /v1/sessions/{id}/samples  stream sample bytes (raw float64 LE, or EMPROFCAP with Content-Type application/x-emprofcap)
 //	GET    /v1/sessions/{id}/profile  live causal snapshot (stalls so far, quality, confidence histogram)
+//	GET    /v1/sessions/{id}/trace    recent analyzer decision events (ring of -trace-ring records)
 //	DELETE /v1/sessions/{id}          finalize; returns the full profile
 //	GET    /v1/sessions               list live sessions
-//	GET    /metrics                   Prometheus text format
+//	GET    /v1/metrics                Prometheus text format (includes the emprofd_trace_* decision aggregates)
 //	GET    /debug/pprof/              daemon self-profiling
 package main
 
@@ -45,6 +47,7 @@ func main() {
 		idleTTL     = flag.Duration("idle-ttl", service.DefaultIdleTTL, "idle time after which a session is finalized and collected")
 		readTimeout = flag.Duration("read-timeout", service.DefaultReadTimeout, "per-request body read deadline")
 		gcInterval  = flag.Duration("gc-interval", 0, "idle-session sweep interval (0 = idle-ttl/4)")
+		traceRing   = flag.Int("trace-ring", service.DefaultTraceRing, "per-session decision-trace ring capacity served at /v1/sessions/{id}/trace (negative disables tracing)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -58,6 +61,7 @@ func main() {
 		MaxSessionBytes: int64(*maxBytes),
 		IdleTTL:         *idleTTL,
 		ReadTimeout:     *readTimeout,
+		TraceRing:       *traceRing,
 	})
 	stopGC := srv.StartGC(*gcInterval)
 	defer stopGC()

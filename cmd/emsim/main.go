@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ func main() {
 		out        = flag.String("o", "capture.cap", "output capture file")
 		truth      = flag.Bool("truth", false, "print ground-truth summary to stdout")
 		serveURL   = flag.String("serve-url", "", "stream the capture to an emprofd daemon at this URL instead of writing a file")
+		traceOut   = flag.String("trace", "", "with -serve-url: save the daemon's decision trace for the session to this JSONL file before finalizing")
 		showVer    = flag.Bool("version", false, "print version and exit")
 
 		// Sweep mode: run a device × workload × seed × bandwidth grid on a
@@ -147,8 +149,11 @@ func main() {
 		fmt.Printf("injected faults: %s\n", rep)
 	}
 	if *serveURL != "" {
-		serveCapture(*serveURL, *deviceName, capture)
+		serveCapture(*serveURL, *deviceName, *traceOut, capture)
 		return
+	}
+	if *traceOut != "" {
+		fatal(fmt.Errorf("-trace requires -serve-url (local runs write captures, not traces; use emprof -trace)"))
 	}
 	if err := em.SaveCapture(*out, capture); err != nil {
 		fatal(err)
@@ -219,7 +224,7 @@ func runSweep(devices, workloads, bws string, scale float64, seeds, workers int,
 // serveCapture streams the capture to an emprofd daemon and prints the
 // final profile the daemon computed — acquisition and analysis with no
 // capture file in between.
-func serveCapture(url, device string, capture *emprof.Capture) {
+func serveCapture(url, device, traceOut string, capture *emprof.Capture) {
 	ctx := context.Background()
 	client := emprof.NewClient(url)
 	id, err := client.CreateSession(ctx, emprof.SessionSpec{
@@ -233,6 +238,21 @@ func serveCapture(url, device string, capture *emprof.Capture) {
 	if err := client.StreamCapture(ctx, id, capture); err != nil {
 		fatal(err)
 	}
+	// The trace must be pulled before Finalize tears the session down.
+	if traceOut != "" {
+		tr, err := client.Trace(ctx, id)
+		if err != nil {
+			fatal(fmt.Errorf("fetching session trace: %w", err))
+		}
+		if !tr.Enabled {
+			fmt.Fprintln(os.Stderr, "emsim: daemon has per-session tracing disabled; writing empty trace")
+		}
+		if err := writeTraceJSONL(traceOut, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d trace events (%d dropped from the daemon ring)\n",
+			traceOut, len(tr.Records), tr.Dropped)
+	}
 	prof, err := client.Finalize(ctx, id)
 	if err != nil {
 		fatal(err)
@@ -242,6 +262,23 @@ func serveCapture(url, device string, capture *emprof.Capture) {
 	fmt.Printf("profile: misses=%d refresh-stalls=%d stall-cycles=%.0f (%.2f%% of %.0f) quality=%s\n",
 		prof.Misses, prof.RefreshStalls, prof.StallCycles,
 		100*prof.StallFraction(), prof.ExecCycles, prof.Quality)
+}
+
+// writeTraceJSONL saves a fetched session trace in the same JSONL format
+// emprof -trace produces, one record per line.
+func writeTraceJSONL(path string, tr *emprof.SessionTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for i := range tr.Records {
+		if err := enc.Encode(&tr.Records[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // splitList splits a comma-separated flag value, dropping empty entries.

@@ -22,6 +22,8 @@
 package emprof
 
 import (
+	"context"
+
 	"emprof/internal/core"
 	"emprof/internal/device"
 	"emprof/internal/em"
@@ -70,12 +72,16 @@ type Workload = sim.Stream
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Analyze runs EMPROF over a capture.
+//
+// Deprecated: use NewAnalyzer and Run, which add functional options
+// (observability, worker pools, streaming) and context-aware execution.
+// Analyze remains supported and is exactly NewAnalyzer(cfg) + Run.
 func Analyze(c *Capture, cfg Config) (*Profile, error) {
-	a, err := core.NewAnalyzer(cfg)
+	a, err := NewAnalyzer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return a.Profile(c), nil
+	return a.Run(context.Background(), c)
 }
 
 // AnalyzeParallel runs EMPROF over a capture using a bounded worker pool:
@@ -89,13 +95,17 @@ func Analyze(c *Capture, cfg Config) (*Profile, error) {
 // runtime.GOMAXPROCS(0), and workers == 1 (or a capture too short to
 // shard profitably) runs the plain sequential analyzer. Use this for long
 // captures on multi-core hosts; for bounded-memory live acquisition use
-// AnalyzeStream instead.
+// the streaming path instead.
+//
+// Deprecated: use NewAnalyzer with WithWorkers and Run. AnalyzeParallel
+// remains supported and is exactly NewAnalyzer(cfg, WithWorkers(workers))
+// + Run.
 func AnalyzeParallel(c *Capture, cfg Config, workers int) (*Profile, error) {
-	a, err := core.NewAnalyzer(cfg)
+	a, err := NewAnalyzer(cfg, WithWorkers(workers))
 	if err != nil {
 		return nil, err
 	}
-	return a.ProfileParallel(c, core.ParallelOptions{Workers: workers}), nil
+	return a.Run(context.Background(), c)
 }
 
 // DeviceAlcatel returns the Alcatel Ideal phone model (Cortex-A7,
@@ -179,8 +189,17 @@ func LoadWorkload(path string) (Workload, error) {
 // AnalyzeStream runs EMPROF incrementally over a capture in bounded
 // memory — the profiling mode for captures too long to hold at once.
 // Its result matches Analyze on the same data.
+//
+// Deprecated: use NewAnalyzer with WithStreaming and Run (which adds
+// cancellation between blocks), or Analyzer.Stream for push-based live
+// acquisition. AnalyzeStream remains supported and is exactly
+// NewAnalyzer(cfg, WithStreaming()) + Run.
 func AnalyzeStream(c *Capture, cfg Config) (*Profile, error) {
-	return core.ProfileStream(c, cfg)
+	a, err := NewAnalyzer(cfg, WithStreaming())
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(context.Background(), c)
 }
 
 // StreamAnalyzer is the push-based incremental profiler; see

@@ -1,0 +1,72 @@
+package emprof
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Sentinel errors reported by the analysis API and the daemon client.
+// Match them with errors.Is; daemon responses additionally expose status
+// and message via errors.As on *APIError.
+var (
+	// ErrBadCapture marks a capture whose data or acquisition metadata
+	// cannot be analysed (nil capture, or samples with a non-positive
+	// sample rate or clock frequency). The daemon client also reports it
+	// for HTTP 400 responses.
+	ErrBadCapture = errors.New("emprof: bad capture")
+	// ErrBadConfig marks an invalid profiler configuration; the wrapped
+	// message names the offending field.
+	ErrBadConfig = errors.New("emprof: bad config")
+	// ErrSessionNotFound is reported by the daemon client when the
+	// addressed profiling session does not exist (HTTP 404) — it was
+	// finalized, collected by the idle TTL, or never created.
+	ErrSessionNotFound = errors.New("emprof: session not found")
+	// ErrRetriesExhausted is reported by the daemon client when a request
+	// kept failing transiently until the retry budget ran out; the last
+	// underlying failure is wrapped alongside it.
+	ErrRetriesExhausted = errors.New("emprof: retries exhausted")
+)
+
+// APIError is a non-2xx emprofd response, carrying the HTTP status and
+// the daemon's error message. It matches the corresponding sentinel
+// errors under errors.Is: a 404 is ErrSessionNotFound and a 400 is
+// ErrBadCapture, so callers can branch without inspecting status codes.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("emprofd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Is maps daemon status codes onto the package's sentinel errors.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrSessionNotFound:
+		return e.StatusCode == http.StatusNotFound
+	case ErrBadCapture:
+		return e.StatusCode == http.StatusBadRequest
+	}
+	return false
+}
+
+// validateCapture gates every analysis entry point: an empty capture is
+// fine (it profiles to an empty Profile), but samples without coherent
+// acquisition metadata would silently produce nonsense timings.
+func validateCapture(c *Capture) error {
+	if c == nil {
+		return fmt.Errorf("%w: nil capture", ErrBadCapture)
+	}
+	if len(c.Samples) == 0 {
+		return nil
+	}
+	if !(c.SampleRate > 0) {
+		return fmt.Errorf("%w: sample rate %v with %d samples", ErrBadCapture, c.SampleRate, len(c.Samples))
+	}
+	if !(c.ClockHz > 0) {
+		return fmt.Errorf("%w: clock %v Hz with %d samples", ErrBadCapture, c.ClockHz, len(c.Samples))
+	}
+	return nil
+}

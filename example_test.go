@@ -1,6 +1,7 @@
 package emprof_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,6 +50,47 @@ func ExampleAnalyzeStream() {
 	}
 	fmt.Println("stream matches batch:", len(stream.Stalls) == len(batch.Stalls))
 	// Output: stream matches batch: true
+}
+
+// ExampleNewAnalyzer shows the options-based analyzer API: one
+// constructor covers the batch, parallel and streaming execution paths
+// (all bit-identical), and an observer can be attached to trace every
+// detection decision the profiler makes.
+func ExampleNewAnalyzer() {
+	w, err := emprof.Microbenchmark(64, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := emprof.Simulate(emprof.DeviceOlimex(), w, emprof.CaptureOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A metrics observer aggregates the analyzer's decisions as it runs;
+	// WithWorkers(0) analyses the capture on all cores.
+	m := emprof.NewTraceMetrics()
+	an, err := emprof.NewAnalyzer(emprof.DefaultConfig(),
+		emprof.WithWorkers(0),
+		emprof.WithObserver(m),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := an.Run(context.Background(), run.Capture)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snap := m.Snapshot()
+	var rejected uint64
+	for _, n := range snap.Rejected {
+		rejected += n
+	}
+	fmt.Println("every stall was traced:", int(snap.StallsAccepted) == len(prof.Stalls))
+	fmt.Println("every dip was resolved:", snap.DipCandidates == snap.StallsAccepted+rejected)
+	// Output:
+	// every stall was traced: true
+	// every dip was resolved: true
 }
 
 // ExampleCaptureOptions demonstrates sweeping the measurement bandwidth,

@@ -38,9 +38,11 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"emprof/internal/dsp"
 	"emprof/internal/em"
+	"emprof/internal/trace"
 )
 
 // ParallelOptions tunes ProfileParallel. The zero value auto-sizes
@@ -135,7 +137,14 @@ func (a *Analyzer) ProfileParallel(c *em.Capture, opts ParallelOptions) *Profile
 		ClockHz:    c.ClockHz,
 	}
 
+	// Tracing: the producer goroutine emits the monitor's resync/flag
+	// events and the scan timing, workers emit per-chunk normalize
+	// timings, and the merge loop emits detection events and ChunkMerged
+	// — concurrently, which is why Analyzer.Observer must be
+	// goroutine-safe when used with ProfileParallel.
+	obs := a.Observer
 	mon := newMonitor(a.cfg, c.SampleRate)
+	mon.obs = obs
 	san := make([]float64, n)
 	// x is the normalisation input: the smoothed series when smoothing is
 	// enabled, otherwise the sanitised samples themselves.
@@ -166,6 +175,13 @@ func (a *Analyzer) ProfileParallel(c *em.Capture, opts ParallelOptions) *Profile
 	go func() {
 		defer close(scanDone)
 		defer close(jobs)
+		var t0 time.Time
+		if obs != nil {
+			t0 = time.Now()
+			defer func() {
+				obs.StageTiming(trace.StageTiming{Stage: trace.StageScan, DurationNs: time.Since(t0).Nanoseconds(), Samples: int64(n)})
+			}()
+		}
 		var ma *dsp.MovingAverage
 		if a.cfg.SmoothSamples > 1 {
 			ma = dsp.NewMovingAverage(a.cfg.SmoothSamples)
@@ -256,7 +272,15 @@ func (a *Analyzer) ProfileParallel(c *em.Capture, opts ParallelOptions) *Profile
 	for wk := 0; wk < workers; wk++ {
 		go func() {
 			for job := range jobs {
-				results[job.idx] <- a.normalizeChunk(x, n, w, half, job)
+				var t0 time.Time
+				if obs != nil {
+					t0 = time.Now()
+				}
+				res := a.normalizeChunk(x, n, w, half, job)
+				if obs != nil {
+					obs.StageTiming(trace.StageTiming{Stage: trace.StageNormalize, DurationNs: time.Since(t0).Nanoseconds(), Samples: int64(job.hi - job.lo)})
+				}
+				results[job.idx] <- res
 			}
 		}()
 	}
@@ -271,8 +295,14 @@ func (a *Analyzer) ProfileParallel(c *em.Capture, opts ParallelOptions) *Profile
 		norm = make([]float64, 0, n)
 	}
 	d := newDetector(a.cfg, c.SampleRate, c.ClockHz, half, p, &detQ, nil)
+	d.obs = obs
+	var mergeT0 time.Time
+	if obs != nil {
+		mergeT0 = time.Now()
+	}
 	for ci := 0; ci < numChunks; ci++ {
 		res := <-results[ci]
+		stallsBefore := len(p.Stalls)
 		for i := res.lo; i < res.hi; i++ {
 			var fl qflag
 			if res.mask != nil {
@@ -281,12 +311,21 @@ func (a *Analyzer) ProfileParallel(c *em.Capture, opts ParallelOptions) *Profile
 			k := i - res.lo
 			d.decide(int64(i), res.norm[k], fl, res.statLo[k], res.statHi[k])
 		}
+		if obs != nil {
+			obs.ChunkMerged(trace.ChunkMerged{
+				Chunk: res.idx, Lo: int64(res.lo), Hi: int64(res.hi),
+				Stalls: len(p.Stalls) - stallsBefore,
+			})
+		}
 		if norm != nil {
 			norm = append(norm, res.norm...)
 		}
 		<-sem
 	}
 	d.finish(int64(n))
+	if obs != nil {
+		obs.StageTiming(trace.StageTiming{Stage: trace.StageMerge, DurationNs: time.Since(mergeT0).Nanoseconds(), Samples: int64(n)})
+	}
 	<-scanDone
 	p.Normalized = norm
 	p.Quality = mon.q

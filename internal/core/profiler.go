@@ -12,9 +12,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"emprof/internal/dsp"
 	"emprof/internal/em"
+	"emprof/internal/trace"
 )
 
 // Config holds the profiler's tuning knobs. DefaultConfig returns the
@@ -232,6 +234,15 @@ type Analyzer struct {
 	cfg Config
 	// KeepNormalized retains the normalised signal in the Profile.
 	KeepNormalized bool
+	// Observer, when non-nil, receives one trace event per analyzer
+	// decision (dip candidates, accepted/rejected stalls, resyncs,
+	// quality flags, stage timings). Leaving it nil keeps the pipeline on
+	// its original path: output is bit-identical and the per-sample hot
+	// path allocation-free, and no clock is ever read. Observers never
+	// influence the produced Profile. With ProfileParallel the observer
+	// is invoked from multiple goroutines and must be safe for concurrent
+	// use (all sinks in internal/trace are).
+	Observer trace.Observer
 }
 
 // NewAnalyzer returns an analyzer; it returns an error for invalid
@@ -356,14 +367,34 @@ func (a *Analyzer) Profile(c *em.Capture) *Profile {
 	if n == 0 {
 		return p
 	}
+	obs := a.Observer
 	mon := newMonitor(a.cfg, c.SampleRate)
+	mon.obs = obs
+
+	// Stage timings are measured only when tracing: the nil-observer path
+	// never reads the clock.
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	san, mask, resyncs := mon.scan(c.Samples)
+	if obs != nil {
+		now := time.Now()
+		obs.StageTiming(trace.StageTiming{Stage: trace.StageScan, DurationNs: now.Sub(t0).Nanoseconds(), Samples: int64(n)})
+		t0 = now
+	}
 	norm, mins, maxs, half := a.normalize(c, san, resyncs)
+	if obs != nil {
+		now := time.Now()
+		obs.StageTiming(trace.StageTiming{Stage: trace.StageNormalize, DurationNs: now.Sub(t0).Nanoseconds(), Samples: int64(n)})
+		t0 = now
+	}
 	if a.KeepNormalized {
 		p.Normalized = norm
 	}
 
 	d := newDetector(a.cfg, c.SampleRate, c.ClockHz, half, p, &mon.q, nil)
+	d.obs = obs
 	for i, v := range norm {
 		var fl qflag
 		if mask != nil {
@@ -376,6 +407,9 @@ func (a *Analyzer) Profile(c *em.Capture) *Profile {
 		d.decide(int64(i), v, fl, mins[j], maxs[j])
 	}
 	d.finish(int64(n))
+	if obs != nil {
+		obs.StageTiming(trace.StageTiming{Stage: trace.StageDetect, DurationNs: time.Since(t0).Nanoseconds(), Samples: int64(n)})
+	}
 	p.Quality = mon.q
 	return p
 }

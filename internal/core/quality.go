@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"emprof/internal/dsp"
+	"emprof/internal/trace"
 )
 
 // This file implements the signal-quality side of the profiler: a causal
@@ -89,15 +90,17 @@ func (q Quality) String() string {
 		q.ClippedSamples, q.BurstSamples, q.StepSamples, q.Resyncs, q.AbortedDips)
 }
 
-// qflag marks the impairment classes a sample belongs to.
-type qflag uint8
+// qflag marks the impairment classes a sample belongs to. It aliases the
+// trace package's Flag so per-sample masks flow into decision events
+// without conversion.
+type qflag = trace.Flag
 
 const (
-	qNaN qflag = 1 << iota
-	qGap
-	qClip
-	qBurst
-	qStep
+	qNaN   = trace.FlagNaN
+	qGap   = trace.FlagGap
+	qClip  = trace.FlagClip
+	qBurst = trace.FlagBurst
+	qStep  = trace.FlagStep
 )
 
 // qStructural are the impairments that invalidate dip evidence outright: a
@@ -173,6 +176,13 @@ type monitor struct {
 	prevX    float64
 	havePrev bool
 
+	// obs, when non-nil, receives a Resync event for every normalisation
+	// re-seed and a QualityFlag event for every flagged sample;
+	// resyncCause remembers what armed the pending resync. Nil keeps the
+	// monitor on its original, emission-free path.
+	obs         trace.Observer
+	resyncCause trace.ResyncCause
+
 	q Quality
 }
 
@@ -220,11 +230,29 @@ func newMonitor(cfg Config, sampleRate float64) *monitor {
 // must retroactively receive the same flags (always < half, so pending
 // stream positions can still absorb them), and whether the normalisation
 // state must be re-seeded before this position is folded in.
+//
+// It wraps processInner with the trace emission points so that the
+// nil-observer path pays exactly one predictable branch per sample.
 func (m *monitor) process(x float64) (y float64, fl qflag, retro int, resync bool) {
+	y, fl, retro, resync = m.processInner(x)
+	if m.obs != nil {
+		pos := m.q.Samples - 1
+		if resync {
+			m.obs.Resync(trace.Resync{Pos: pos, Cause: m.resyncCause})
+		}
+		if fl != 0 {
+			m.obs.QualityFlag(trace.QualityFlag{Pos: pos, Flags: fl, Retro: retro})
+		}
+	}
+	return y, fl, retro, resync
+}
+
+func (m *monitor) processInner(x float64) (y float64, fl qflag, retro int, resync bool) {
 	m.q.Samples++
 	if m.stepResyncPending {
 		resync = true
 		m.stepResyncPending = false
+		m.resyncCause = trace.ResyncGainStep
 	}
 
 	// Non-finite corruption: hold the last good value so a single NaN can
@@ -252,6 +280,7 @@ func (m *monitor) process(x float64) (y float64, fl qflag, retro int, resync boo
 		// A long gap just ended: the coupling or gain may have moved while
 		// we were blind, so re-seed the normalisation windows here.
 		resync = true
+		m.resyncCause = trace.ResyncGap
 		m.q.Resyncs++
 	}
 	m.zeroRun = 0
@@ -433,6 +462,11 @@ type detector struct {
 	prof    *Profile
 	q       *Quality
 	onStall func(Stall)
+	// obs, when non-nil, receives DipCandidate / StallAccepted /
+	// StallRejected events at the corresponding decision points. All
+	// emissions sit on branches the detector takes rarely, so the
+	// per-sample fast path is untouched when tracing is off.
+	obs trace.Observer
 }
 
 // newDetector builds the shared dip detector; half is the normalisation
@@ -461,6 +495,14 @@ func (d *detector) decide(i int64, v float64, fl qflag, lo, hi float64) {
 			// The sample carries no dip evidence: suppress entry, and
 			// abort rather than report a dip that spans the impairment.
 			if d.inDip {
+				if d.obs != nil {
+					d.obs.StallRejected(trace.StallRejected{
+						Start: d.start, End: i,
+						DurationS: float64(i-d.start) / d.sampleRate,
+						Depth:     d.depth,
+						Reason:    trace.RejectImpaired,
+					})
+				}
 				d.inDip = false
 				d.depth = math.Inf(1)
 				d.q.AbortedDips++
@@ -474,6 +516,9 @@ func (d *detector) decide(i int64, v float64, fl qflag, lo, hi float64) {
 			d.start = i
 			d.depth = v
 			d.entryLo, d.entryHi = lo, hi
+			if d.obs != nil {
+				d.obs.DipCandidate(trace.DipCandidate{Pos: i, Value: v, Lo: lo, Hi: hi})
+			}
 		}
 		return
 	}
@@ -501,6 +546,12 @@ func (d *detector) flush(end int64) {
 	durSamples := end - d.start
 	durS := float64(durSamples) / d.sampleRate
 	if float64(durSamples) < d.minSamples {
+		if d.obs != nil {
+			d.obs.StallRejected(trace.StallRejected{
+				Start: d.start, End: end, DurationS: durS,
+				Depth: d.depth, Reason: trace.RejectTooShort,
+			})
+		}
 		return
 	}
 	maxDepth := d.cfg.MaxDipDepth
@@ -508,6 +559,12 @@ func (d *detector) flush(end int64) {
 		maxDepth = d.cfg.MaxDipDepthLong
 	}
 	if d.depth > maxDepth {
+		if d.obs != nil {
+			d.obs.StallRejected(trace.StallRejected{
+				Start: d.start, End: end, DurationS: durS,
+				Depth: d.depth, Reason: trace.RejectTooShallow,
+			})
+		}
 		return
 	}
 	st := Stall{
@@ -527,6 +584,13 @@ func (d *detector) flush(end int64) {
 		d.prof.Misses++
 	}
 	d.prof.StallCycles += st.Cycles
+	if d.obs != nil {
+		d.obs.StallAccepted(trace.StallAccepted{
+			Start: d.start, End: end, StartS: st.StartS,
+			DurationS: st.DurationS, Cycles: st.Cycles, Depth: st.Depth,
+			Confidence: st.Confidence, Refresh: st.Refresh,
+		})
+	}
 	if d.onStall != nil {
 		d.onStall(st)
 	}

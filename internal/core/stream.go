@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"emprof/internal/dsp"
 	"emprof/internal/em"
+	"emprof/internal/trace"
 )
 
 // StreamAnalyzer applies EMPROF incrementally, in bounded memory, as
@@ -60,6 +63,8 @@ type StreamAnalyzer struct {
 	// OnStall, when set, is invoked for each detected stall as soon as
 	// its end is decided.
 	OnStall func(Stall)
+	// obs receives decision-trace events when set via SetObserver.
+	obs trace.Observer
 
 	lastMin, lastMax float64
 	haveStats        bool
@@ -99,6 +104,18 @@ func NewStreamAnalyzer(cfg Config, sampleRate, clockHz float64) (*StreamAnalyzer
 		}
 	})
 	return s, nil
+}
+
+// SetObserver attaches a decision-trace observer: it receives one event
+// per analyzer decision (dip candidates, accepted/rejected stalls,
+// resyncs, quality flags, and a drain timing at Finalize) as each
+// decision is taken. Call it before the first Push; attaching an
+// observer never changes the produced profile. A nil observer restores
+// the original, emission-free path.
+func (s *StreamAnalyzer) SetObserver(o trace.Observer) {
+	s.obs = o
+	s.mon.obs = o
+	s.det.obs = o
 }
 
 // Push feeds one magnitude sample.
@@ -187,6 +204,11 @@ func (s *StreamAnalyzer) decide(x float64) {
 // Finalize drains the pipeline and returns the profile. The analyzer must
 // not be pushed to afterwards.
 func (s *StreamAnalyzer) Finalize() *Profile {
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
+	drainFrom := s.emitted
 	// Feed the smoother's uncompensated tail, as the batch analyzer keeps
 	// the last `lead` positions unshifted.
 	if s.smoother != nil {
@@ -211,6 +233,13 @@ func (s *StreamAnalyzer) Finalize() *Profile {
 		s.decide(v)
 	}
 	s.det.finish(s.emitted)
+	if s.obs != nil {
+		s.obs.StageTiming(trace.StageTiming{
+			Stage:      trace.StageDrain,
+			DurationNs: time.Since(t0).Nanoseconds(),
+			Samples:    s.emitted - drainFrom,
+		})
+	}
 	s.prof.ExecCycles = float64(s.n) * (s.clockHz / s.sampleRate)
 	s.prof.Quality = s.mon.q
 	return s.prof

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"emprof/internal/em"
+	"emprof/internal/sim"
+	"emprof/internal/trace"
+)
+
+// TestObserverAccountingBatch checks that the event stream reconciles
+// exactly with the profile: every dip candidate is resolved by exactly one
+// accept or reject, and the event counters match the profile's own.
+func TestObserverAccountingBatch(t *testing.T) {
+	c := syntheticCapture(1 << 18, 7, true)
+	a := MustNewAnalyzer(DefaultConfig())
+	m := trace.NewMetrics()
+	a.Observer = m
+	p := a.Profile(c)
+	s := m.Snapshot()
+
+	if int(s.StallsAccepted) != len(p.Stalls) {
+		t.Errorf("StallsAccepted events = %d, profile has %d stalls", s.StallsAccepted, len(p.Stalls))
+	}
+	if int(s.RefreshStalls) != p.RefreshStalls {
+		t.Errorf("refresh events = %d, profile says %d", s.RefreshStalls, p.RefreshStalls)
+	}
+	if int(s.Rejected[trace.RejectImpaired]) != p.Quality.AbortedDips {
+		t.Errorf("impaired rejects = %d, AbortedDips = %d", s.Rejected[trace.RejectImpaired], p.Quality.AbortedDips)
+	}
+	var rejected uint64
+	for _, n := range s.Rejected {
+		rejected += n
+	}
+	if s.DipCandidates != s.StallsAccepted+rejected {
+		t.Errorf("candidates = %d, accepted+rejected = %d", s.DipCandidates, s.StallsAccepted+rejected)
+	}
+	if s.DipCandidates == 0 || s.StallsAccepted == 0 {
+		t.Fatalf("degenerate trace: candidates=%d accepted=%d", s.DipCandidates, s.StallsAccepted)
+	}
+	for _, st := range []trace.Stage{trace.StageScan, trace.StageNormalize, trace.StageDetect} {
+		if _, ok := s.StageNs[st]; !ok {
+			t.Errorf("missing stage timing %q: %v", st, s.StageNs)
+		}
+	}
+	// The nasty capture carries NaN and burst corruption; flag events must
+	// reconcile with the quality counters (retro-inclusive).
+	if int64(s.FlaggedSamples["nan"]) != p.Quality.NaNSamples {
+		t.Errorf("nan flag events cover %d samples, quality says %d", s.FlaggedSamples["nan"], p.Quality.NaNSamples)
+	}
+	if int64(s.FlaggedSamples["burst"]) != p.Quality.BurstSamples {
+		t.Errorf("burst flag events cover %d samples, quality says %d", s.FlaggedSamples["burst"], p.Quality.BurstSamples)
+	}
+}
+
+// gapStepCapture builds a busy trace with one dip, one resync-length
+// dropout and one sustained gain step, to exercise both resync causes.
+func gapStepCapture(n int) *em.Capture {
+	rng := sim.NewRNG(11)
+	s := make([]float64, n)
+	for i := range s {
+		v := 1.0 + 0.05*rng.NormFloat64()
+		if i >= n/2 {
+			v *= 3.5 // sustained receiver gain step
+		}
+		switch {
+		case i%9973 < 12:
+			v = 0.04 + 0.005*rng.NormFloat64() // stall dip
+		case i >= n/4 && i < n/4+800:
+			v = 0 // long digitizer gap
+		}
+		s[i] = math.Abs(v)
+	}
+	return &em.Capture{Samples: s, SampleRate: 50e6, ClockHz: 1e9}
+}
+
+func TestObserverResyncCauses(t *testing.T) {
+	c := gapStepCapture(1 << 17)
+	a := MustNewAnalyzer(DefaultConfig())
+	m := trace.NewMetrics()
+	ring := trace.NewRing(1 << 16)
+	a.Observer = trace.Multi(m, ring)
+	p := a.Profile(c)
+	s := m.Snapshot()
+
+	if s.Resyncs[trace.ResyncGap] == 0 {
+		t.Errorf("no gap resync event (quality: %+v)", p.Quality)
+	}
+	if s.Resyncs[trace.ResyncGainStep] == 0 {
+		t.Errorf("no gain-step resync event (quality: %+v)", p.Quality)
+	}
+	var total int
+	for _, n := range s.Resyncs {
+		total += int(n)
+	}
+	if total != p.Quality.Resyncs {
+		t.Errorf("resync events = %d, Quality.Resyncs = %d", total, p.Quality.Resyncs)
+	}
+	// The ring retained the same stream in record form.
+	var rs int
+	for _, r := range ring.Records() {
+		if r.Type == trace.TypeResync {
+			rs++
+		}
+	}
+	if rs != total {
+		t.Errorf("ring holds %d resync records, metrics counted %d", rs, total)
+	}
+}
+
+// TestObserverEquivalenceAllPaths is the core half of the golden test:
+// attaching observers leaves all three analyze paths bit-identical to the
+// nil-observer run.
+func TestObserverEquivalenceAllPaths(t *testing.T) {
+	for _, nasty := range []bool{false, true} {
+		c := syntheticCapture(1<<17, 3, nasty)
+		plain := MustNewAnalyzer(DefaultConfig())
+		want := plain.Profile(c)
+
+		traced := MustNewAnalyzer(DefaultConfig())
+		traced.Observer = trace.Multi(trace.NewMetrics(), trace.NewRing(4096))
+		assertProfilesIdentical(t, want, traced.Profile(c), "batch+observer")
+		assertProfilesIdentical(t, want,
+			traced.ProfileParallel(c, ParallelOptions{Workers: 4, ChunkSamples: 20011}),
+			"parallel+observer")
+
+		s, err := NewStreamAnalyzer(DefaultConfig(), c.SampleRate, c.ClockHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetObserver(trace.NewMetrics())
+		for _, x := range c.Samples {
+			s.Push(x)
+		}
+		assertProfilesIdentical(t, want, s.Finalize(), "stream+observer")
+	}
+}
+
+// TestObserverParallelChunks checks the parallel-only events: one
+// ChunkMerged per chunk, chunk stall counts summing to the profile, and
+// the scan/normalize/merge stage timings.
+func TestObserverParallelChunks(t *testing.T) {
+	c := syntheticCapture(1<<18, 5, true)
+	a := MustNewAnalyzer(DefaultConfig())
+	ring := trace.NewRing(1 << 17)
+	m := trace.NewMetrics()
+	a.Observer = trace.Multi(ring, m)
+	chunk := 30011
+	p := a.ProfileParallel(c, ParallelOptions{Workers: 4, ChunkSamples: chunk})
+
+	wantChunks := (len(c.Samples) + chunk - 1) / chunk
+	var got, stalls int
+	for _, r := range ring.Records() {
+		if r.Type == trace.TypeChunkMerged {
+			got++
+			stalls += r.Stalls
+		}
+	}
+	if got != wantChunks {
+		t.Errorf("ChunkMerged events = %d, want %d", got, wantChunks)
+	}
+	if stalls != len(p.Stalls) {
+		t.Errorf("chunk stall counts sum to %d, profile has %d", stalls, len(p.Stalls))
+	}
+	s := m.Snapshot()
+	for _, st := range []trace.Stage{trace.StageScan, trace.StageNormalize, trace.StageMerge} {
+		if _, ok := s.StageNs[st]; !ok {
+			t.Errorf("missing stage timing %q: %v", st, s.StageNs)
+		}
+	}
+}
+
+func TestObserverStreamDrainTiming(t *testing.T) {
+	c := syntheticCapture(1<<15, 9, false)
+	s, err := NewStreamAnalyzer(DefaultConfig(), c.SampleRate, c.ClockHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trace.NewMetrics()
+	s.SetObserver(m)
+	for _, x := range c.Samples {
+		s.Push(x)
+	}
+	p := s.Finalize()
+	snap := m.Snapshot()
+	if _, ok := snap.StageNs[trace.StageDrain]; !ok {
+		t.Fatalf("no drain timing: %v", snap.StageNs)
+	}
+	if int(snap.StallsAccepted) != len(p.Stalls) {
+		t.Errorf("accepted events = %d, profile has %d stalls", snap.StallsAccepted, len(p.Stalls))
+	}
+}
+
+// TestNilObserverSteadyStateAllocs proves the zero-overhead-when-off
+// claim at the allocation level: the per-sample monitor + detector path
+// with a nil observer performs no allocations. (The CI benchmark guard
+// additionally bounds the time overhead; see internal/experiments.)
+func TestNilObserverSteadyStateAllocs(t *testing.T) {
+	// A dip-free busy trace: noise never reaches the entry threshold, so
+	// the detector stays out of dips and Profile.Stalls never grows —
+	// every allocation counted below would be hot-path overhead.
+	rng := sim.NewRNG(13)
+	samples := make([]float64, 1<<15)
+	for i := range samples {
+		samples[i] = math.Abs(1.0 + 0.05*rng.NormFloat64())
+	}
+	cfg := DefaultConfig()
+	mon := newMonitor(cfg, 50e6)
+	prof := &Profile{}
+	det := newDetector(cfg, 50e6, 1e9, 5000, prof, &mon.q, nil)
+	// Warm the monitor's moving-extremum ring and EMAs first so one-time
+	// buffer growth is not attributed to the steady state.
+	i := 0
+	pos := int64(0)
+	step := func() {
+		x := samples[i]
+		i = (i + 1) % len(samples)
+		y, fl, _, _ := mon.process(x)
+		det.decide(pos, y, fl, 0.02, 1.1)
+		pos++
+	}
+	for k := 0; k < 1<<14; k++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(2000, step)
+	if allocs != 0 {
+		t.Fatalf("nil-observer steady state allocates %.2f allocs/op, want 0", allocs)
+	}
+	if len(prof.Stalls) != 0 {
+		t.Fatalf("busy-only trace produced %d stalls; alloc accounting invalid", len(prof.Stalls))
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -177,6 +178,26 @@ func synthCases(quick bool) ([]synthCase, error) {
 				vals := series[:len(series)/25]
 				for i := 0; i < b.N; i++ {
 					if _, err := em.SynthesizeFromSeries(vals, 25, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// The analysis side of the pipeline: batch EMPROF over the dry
+			// run's capture, through the options API with no observer — the
+			// fast path the trace layer must keep free.
+			name:    "analyze-batch",
+			cycles:  dry.Truth.Cycles,
+			samples: uint64(len(dry.Capture.Samples)),
+			body: func(b *testing.B) {
+				cfg := emprof.DefaultConfig()
+				an, err := emprof.NewAnalyzer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := an.Run(context.Background(), dry.Capture); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -66,15 +66,30 @@ func (s *Server) StartGC(interval time.Duration) (stop func()) {
 	return func() { close(done) }
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes. Every route is served under
+// the /v1 prefix (the stable, versioned surface) and, for compatibility
+// with pre-versioning clients, at its bare unversioned path as an alias.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.instrument("create", s.handleCreate))
-	mux.HandleFunc("GET /v1/sessions", s.instrument("list", s.handleList))
-	mux.HandleFunc("POST /v1/sessions/{id}/samples", s.instrument("ingest", s.handleIngest))
-	mux.HandleFunc("GET /v1/sessions/{id}/profile", s.instrument("profile", s.handleProfile))
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("finalize", s.handleFinalize))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	routes := []struct {
+		pattern  string // method + path, without the version prefix
+		endpoint string // metrics label
+		h        http.HandlerFunc
+	}{
+		{"POST /sessions", "create", s.handleCreate},
+		{"GET /sessions", "list", s.handleList},
+		{"POST /sessions/{id}/samples", "ingest", s.handleIngest},
+		{"GET /sessions/{id}/profile", "profile", s.handleProfile},
+		{"GET /sessions/{id}/trace", "trace", s.handleTrace},
+		{"DELETE /sessions/{id}", "finalize", s.handleFinalize},
+		{"GET /metrics", "metrics", s.handleMetrics},
+	}
+	for _, rt := range routes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		h := s.instrument(rt.endpoint, rt.h)
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(rt.pattern, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -227,6 +242,15 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.reg.Trace(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {

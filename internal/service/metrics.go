@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"emprof/internal/trace"
 	"emprof/internal/version"
 )
 
@@ -21,6 +22,12 @@ type Metrics struct {
 	SamplesIngested   atomic.Int64
 	IngestBytes       atomic.Int64
 	StallsDetected    atomic.Int64
+
+	// Trace aggregates the decision-trace events of every session's
+	// analyzer (stalls by reject reason, dip-depth distribution, resync
+	// causes, flagged samples); rendered under the emprofd_trace_ prefix.
+	// The same aggregator type backs embench's observer-overhead guard.
+	Trace *trace.Metrics
 
 	mu        sync.Mutex
 	endpoints map[endpointKey]*endpointStats
@@ -38,7 +45,10 @@ type endpointStats struct {
 
 // NewMetrics returns an empty metrics sink.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[endpointKey]*endpointStats)}
+	return &Metrics{
+		Trace:     trace.NewMetrics(),
+		endpoints: make(map[endpointKey]*endpointStats),
+	}
 }
 
 // ObserveRequest records one served request: its endpoint label, status
@@ -122,5 +132,9 @@ func (m *Metrics) WriteTo(w io.Writer, activeSessions int) {
 		a := byEndpoint[ep]
 		fmt.Fprintf(w, "emprofd_http_request_duration_seconds_sum{endpoint=%q} %g\n", ep, a.sum)
 		fmt.Fprintf(w, "emprofd_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, a.count)
+	}
+
+	if m.Trace != nil {
+		m.Trace.WritePrometheus(w, "emprofd_trace")
 	}
 }

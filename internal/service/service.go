@@ -30,6 +30,7 @@ import (
 
 	"emprof/internal/core"
 	"emprof/internal/em"
+	"emprof/internal/trace"
 )
 
 // Config tunes the service.
@@ -47,6 +48,13 @@ type Config struct {
 	// ReadTimeout is the per-request read deadline applied to ingest
 	// bodies; 0 means the default (30 seconds).
 	ReadTimeout time.Duration
+	// TraceRing is the per-session decision-trace ring capacity served at
+	// GET /v1/sessions/{id}/trace: the last TraceRing analyzer decision
+	// events (dip candidates, accepted/rejected stalls, resyncs, quality
+	// flags) are retained per session. 0 means the default (4096);
+	// negative disables per-session rings (the shared trace metrics keep
+	// aggregating either way).
+	TraceRing int
 	// Now overrides the clock, for tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -57,6 +65,7 @@ const (
 	DefaultMaxSessionBytes = 1 << 30
 	DefaultIdleTTL         = 5 * time.Minute
 	DefaultReadTimeout     = 30 * time.Second
+	DefaultTraceRing       = 4096
 )
 
 func (c Config) withDefaults() Config {
@@ -71,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = DefaultTraceRing
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -111,6 +123,10 @@ type session struct {
 	finalized  bool
 	final      *core.Profile
 	poison     error // first decode error; the session rejects further ingest
+	// ring retains the session's most recent analyzer decision events
+	// (GET /v1/sessions/{id}/trace); nil when per-session tracing is
+	// disabled. The ring is internally synchronised.
+	ring *trace.Ring
 }
 
 // SessionInfo is the list-endpoint view of one session.
@@ -175,6 +191,20 @@ func (r *Registry) Create(device string, sampleRate, clockHz float64, cfg core.C
 		return "", err
 	}
 	an.OnStall = func(core.Stall) { r.metrics.StallsDetected.Add(1) }
+	// Every session's analyzer feeds the shared trace aggregator; the
+	// per-session ring additionally retains recent events for the trace
+	// endpoint unless disabled. Observers are assembled as interfaces
+	// (never typed-nil pointers) so Multi can drop absent ones.
+	var sinks []trace.Observer
+	var ring *trace.Ring
+	if r.cfg.TraceRing > 0 {
+		ring = trace.NewRing(r.cfg.TraceRing)
+		sinks = append(sinks, ring)
+	}
+	if r.metrics.Trace != nil {
+		sinks = append(sinks, r.metrics.Trace)
+	}
+	an.SetObserver(trace.Multi(sinks...))
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -194,6 +224,7 @@ func (r *Registry) Create(device string, sampleRate, clockHz float64, cfg core.C
 		created:    now,
 		lastActive: now,
 		an:         an,
+		ring:       ring,
 	}
 	r.sessions[s.id] = s
 	r.metrics.SessionsTotal.Add(1)
@@ -377,6 +408,45 @@ func (s *session) snapshotLocked() *Snapshot {
 		snap.ConfidenceHist[bin]++
 	}
 	return snap
+}
+
+// TraceResponse is the GET /v1/sessions/{id}/trace view of a session:
+// the retained decision-trace events, oldest first, with drop
+// accounting.
+type TraceResponse struct {
+	ID string `json:"id"`
+	// Enabled is false when the daemon runs with per-session tracing
+	// disabled (-trace-ring < 0); Records is then always empty.
+	Enabled bool `json:"enabled"`
+	// Total counts every decision event the session's analyzer ever
+	// emitted; Dropped counts those that have rotated out of the ring.
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+	// Records holds the retained events, oldest first.
+	Records []trace.Record `json:"records"`
+}
+
+// Trace returns the retained decision-trace events of a session.
+func (r *Registry) Trace(id string) (*TraceResponse, error) {
+	s, err := r.get(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.lastActive = r.cfg.Now()
+	ring := s.ring
+	s.mu.Unlock()
+	resp := &TraceResponse{ID: s.id, Records: []trace.Record{}}
+	if ring == nil {
+		return resp, nil
+	}
+	resp.Enabled = true
+	// Records and Total are read in two steps; events landing between
+	// them only make Dropped conservative, never negative.
+	resp.Records = ring.Records()
+	resp.Total = ring.Total()
+	resp.Dropped = resp.Total - uint64(len(resp.Records))
+	return resp, nil
 }
 
 // Finalize drains a session's pipeline, removes it from the registry, and

@@ -1,0 +1,387 @@
+// Package trace is the decision-trace observability layer of the EMPROF
+// analyzers: every reported (or suppressed) stall is the outcome of a
+// chain of analyzer decisions — a dip candidate opened, a duration or
+// depth threshold compared, a normalisation resync fired, a confidence
+// assigned — and this package makes that chain observable without
+// perturbing it.
+//
+// An Observer receives one typed, by-value event per decision point. The
+// analyzers in internal/core emit events only when an observer is
+// attached: with a nil observer the pipeline takes its original path,
+// bit-identical in output and allocation-free on the per-sample hot path
+// (asserted by tests and the CI benchmark guard). Attaching any observer
+// never changes the produced Profile — observers receive copies and
+// cannot write back.
+//
+// Three ready-made sinks cover the common deployments:
+//
+//   - JSONL writes one JSON object per event to an io.Writer
+//     (`emprof -trace out.jsonl`).
+//   - Ring keeps the last N events in memory; emprofd exposes one per
+//     session at GET /v1/sessions/{id}/trace.
+//   - Metrics aggregates events into counters and histograms (stalls by
+//     reject reason, dip-depth distribution, resyncs by cause, per-stage
+//     wall time) rendered in Prometheus text format alongside the
+//     service registry.
+//
+// Sinks may be combined with Multi. All sinks in this package are safe
+// for concurrent use; that matters because core.ProfileParallel emits
+// monitor events from its scan goroutine concurrently with detection
+// events from the merging goroutine. A custom Observer used with the
+// parallel analyzer must be equally safe (plain batch and streaming
+// analyzers emit from a single goroutine).
+package trace
+
+// Flag marks the impairment classes a sample belongs to, as detected by
+// the analyzers' signal-quality monitor. The bit layout is shared with
+// internal/core's per-sample mask.
+type Flag uint8
+
+const (
+	// FlagNaN marks a non-finite (NaN/±Inf) sample.
+	FlagNaN Flag = 1 << iota
+	// FlagGap marks an exact-zero sample (digitizer dropout).
+	FlagGap
+	// FlagClip marks a flat-lined sample at the top of the range (ADC
+	// saturation).
+	FlagClip
+	// FlagBurst marks an impulsive spike far above the busy level.
+	FlagBurst
+	// FlagStep marks a sample inside a confirmed receiver gain-step
+	// transition region.
+	FlagStep
+)
+
+// String renders the flag set as a "|"-joined list, e.g. "gap|step".
+func (f Flag) String() string {
+	if f == 0 {
+		return "none"
+	}
+	names := [...]struct {
+		bit  Flag
+		name string
+	}{
+		{FlagNaN, "nan"}, {FlagGap, "gap"}, {FlagClip, "clip"},
+		{FlagBurst, "burst"}, {FlagStep, "step"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	return out
+}
+
+// RejectReason says why a candidate dip was not reported as a stall.
+type RejectReason string
+
+const (
+	// RejectTooShort: the dip closed before reaching the minimum stall
+	// duration (Config.MinStallS).
+	RejectTooShort RejectReason = "too-short"
+	// RejectTooShallow: the dip never reached the depth floor required
+	// for its duration class (Config.MaxDipDepth / MaxDipDepthLong).
+	RejectTooShallow RejectReason = "too-shallow"
+	// RejectImpaired: a structural acquisition impairment (gap, clip,
+	// gain step) overlapped the dip, which was aborted rather than risk
+	// reporting a phantom stall.
+	RejectImpaired RejectReason = "impaired"
+)
+
+// ResyncCause says why the normalisation min/max state was re-seeded.
+type ResyncCause string
+
+const (
+	// ResyncGap: a long zero-filled dropout ended and the coupling may
+	// have moved while the monitor was blind.
+	ResyncGap ResyncCause = "gap"
+	// ResyncGainStep: a sustained receiver gain discontinuity was
+	// confirmed.
+	ResyncGainStep ResyncCause = "gain-step"
+)
+
+// Stage labels one pipeline stage in a StageTiming event.
+type Stage string
+
+const (
+	// StageScan is the sequential quality-monitor + smoothing pass.
+	StageScan Stage = "scan"
+	// StageNormalize is the moving min/max normalisation pass.
+	StageNormalize Stage = "normalize"
+	// StageDetect is the dip-detection pass over normalised values.
+	StageDetect Stage = "detect"
+	// StageMerge is the parallel analyzer's in-order detector replay over
+	// normalised chunks.
+	StageMerge Stage = "merge"
+	// StageDrain is the streaming analyzer's Finalize: flushing the
+	// smoother tail and the trailing half-window of pending decisions.
+	StageDrain Stage = "drain"
+)
+
+// DipCandidate is emitted when the normalised signal falls below the
+// entry threshold and a dip opens. Every candidate is later resolved by
+// exactly one StallAccepted or StallRejected event.
+type DipCandidate struct {
+	// Pos is the sample position at which the dip opened.
+	Pos int64
+	// Value is the normalised magnitude that crossed the entry threshold.
+	Value float64
+	// Lo and Hi are the moving min/max normalisation stats in force at
+	// entry (the local contrast the confidence score uses).
+	Lo, Hi float64
+}
+
+// StallAccepted is emitted when a dip passes the duration and depth
+// criteria and is reported as a stall. Its fields mirror core.Stall.
+type StallAccepted struct {
+	// Start and End delimit the dip in samples (half-open).
+	Start, End int64
+	// StartS is the onset in seconds from capture start.
+	StartS float64
+	// DurationS is the dip duration in seconds.
+	DurationS float64
+	// Cycles is the stall cost in processor cycles.
+	Cycles float64
+	// Depth is the minimum normalised magnitude inside the dip.
+	Depth float64
+	// Confidence is the detection confidence in [0, 1].
+	Confidence float64
+	// Refresh is true for refresh-coincident stalls.
+	Refresh bool
+}
+
+// StallRejected is emitted when a candidate dip is discarded.
+type StallRejected struct {
+	// Start and End delimit the candidate in samples (half-open; End is
+	// the position at which it was discarded).
+	Start, End int64
+	// DurationS is the candidate duration in seconds.
+	DurationS float64
+	// Depth is the minimum normalised magnitude the candidate reached.
+	Depth float64
+	// Reason says which criterion killed it.
+	Reason RejectReason
+}
+
+// Resync is emitted when the quality monitor re-seeds the normalisation
+// min/max state.
+type Resync struct {
+	// Pos is the sample position before which the state is reset.
+	Pos int64
+	// Cause is what triggered the re-seed.
+	Cause ResyncCause
+}
+
+// QualityFlag is emitted for every sample the quality monitor flags as
+// impaired. Retro counts immediately preceding samples that retroactively
+// received the same flags (clip runs and gain-step half-windows); no
+// separate events are emitted for those.
+type QualityFlag struct {
+	// Pos is the flagged sample position.
+	Pos int64
+	// Flags is the impairment class set.
+	Flags Flag
+	// Retro is how many preceding samples were retroactively flagged.
+	Retro int
+}
+
+// ChunkMerged is emitted by the parallel analyzer after replaying the
+// detector over one normalised chunk.
+type ChunkMerged struct {
+	// Chunk is the chunk index in capture order.
+	Chunk int
+	// Lo and Hi delimit the chunk's owned positions (half-open).
+	Lo, Hi int64
+	// Stalls is how many stalls the replay of this chunk reported.
+	Stalls int
+}
+
+// StageTiming reports the wall time of one pipeline stage. Timings are
+// only measured when an observer is attached, so the nil-observer path
+// never reads the clock.
+type StageTiming struct {
+	// Stage labels the pipeline stage.
+	Stage Stage
+	// DurationNs is the stage wall time in nanoseconds.
+	DurationNs int64
+	// Samples is the number of capture samples the stage covered.
+	Samples int64
+}
+
+// Observer receives analyzer decision events. Events are delivered
+// synchronously from the analysis path, so implementations should be
+// cheap; all sinks in this package are. Implementations used with
+// core.ProfileParallel must be safe for concurrent use. Embed Nop to
+// implement only the events of interest.
+type Observer interface {
+	DipCandidate(DipCandidate)
+	StallAccepted(StallAccepted)
+	StallRejected(StallRejected)
+	Resync(Resync)
+	QualityFlag(QualityFlag)
+	ChunkMerged(ChunkMerged)
+	StageTiming(StageTiming)
+}
+
+// Nop is an Observer that ignores every event. Embed it to implement
+// Observer partially; it is also the baseline for overhead benchmarks.
+type Nop struct{}
+
+func (Nop) DipCandidate(DipCandidate)   {}
+func (Nop) StallAccepted(StallAccepted) {}
+func (Nop) StallRejected(StallRejected) {}
+func (Nop) Resync(Resync)               {}
+func (Nop) QualityFlag(QualityFlag)     {}
+func (Nop) ChunkMerged(ChunkMerged)     {}
+func (Nop) StageTiming(StageTiming)     {}
+
+// multi fans events out to several observers in order.
+type multi []Observer
+
+// Multi combines observers into one that delivers every event to each,
+// in argument order. Nil entries are dropped; Multi() of nothing (or of
+// only nils) returns nil, the analyzers' "off" value.
+func Multi(obs ...Observer) Observer {
+	var live multi
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+func (m multi) DipCandidate(e DipCandidate) {
+	for _, o := range m {
+		o.DipCandidate(e)
+	}
+}
+
+func (m multi) StallAccepted(e StallAccepted) {
+	for _, o := range m {
+		o.StallAccepted(e)
+	}
+}
+
+func (m multi) StallRejected(e StallRejected) {
+	for _, o := range m {
+		o.StallRejected(e)
+	}
+}
+
+func (m multi) Resync(e Resync) {
+	for _, o := range m {
+		o.Resync(e)
+	}
+}
+
+func (m multi) QualityFlag(e QualityFlag) {
+	for _, o := range m {
+		o.QualityFlag(e)
+	}
+}
+
+func (m multi) ChunkMerged(e ChunkMerged) {
+	for _, o := range m {
+		o.ChunkMerged(e)
+	}
+}
+
+func (m multi) StageTiming(e StageTiming) {
+	for _, o := range m {
+		o.StageTiming(e)
+	}
+}
+
+// Event type labels used in Records (the serialised event form).
+const (
+	TypeDipCandidate  = "dip_candidate"
+	TypeStallAccepted = "stall_accepted"
+	TypeStallRejected = "stall_rejected"
+	TypeResync        = "resync"
+	TypeQualityFlag   = "quality_flag"
+	TypeChunkMerged   = "chunk_merged"
+	TypeStageTiming   = "stage_timing"
+)
+
+// Record is the flat, serialisable form of any event — the unit stored
+// by Ring and written by JSONL. Type is always set; the remaining fields
+// are populated per event type and omitted from JSON when zero, so each
+// line carries only the fields that mean something for its type.
+type Record struct {
+	Type string `json:"type"`
+
+	Pos        int64   `json:"pos,omitempty"`
+	Start      int64   `json:"start,omitempty"`
+	End        int64   `json:"end,omitempty"`
+	Value      float64 `json:"value,omitempty"`
+	Lo         float64 `json:"lo,omitempty"`
+	Hi         float64 `json:"hi,omitempty"`
+	StartS     float64 `json:"start_s,omitempty"`
+	DurationS  float64 `json:"duration_s,omitempty"`
+	Cycles     float64 `json:"cycles,omitempty"`
+	Depth      float64 `json:"depth,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Refresh    bool    `json:"refresh,omitempty"`
+	Reason     string  `json:"reason,omitempty"`
+	Cause      string  `json:"cause,omitempty"`
+	Flags      string  `json:"flags,omitempty"`
+	Retro      int     `json:"retro,omitempty"`
+	Chunk      int     `json:"chunk,omitempty"`
+	Stalls     int     `json:"stalls,omitempty"`
+	Stage      string  `json:"stage,omitempty"`
+	DurationNs int64   `json:"duration_ns,omitempty"`
+	Samples    int64   `json:"samples,omitempty"`
+}
+
+// Record converts the event to its serialisable form.
+func (e DipCandidate) Record() Record {
+	return Record{Type: TypeDipCandidate, Pos: e.Pos, Value: e.Value, Lo: e.Lo, Hi: e.Hi}
+}
+
+// Record converts the event to its serialisable form.
+func (e StallAccepted) Record() Record {
+	return Record{
+		Type: TypeStallAccepted, Start: e.Start, End: e.End, StartS: e.StartS,
+		DurationS: e.DurationS, Cycles: e.Cycles, Depth: e.Depth,
+		Confidence: e.Confidence, Refresh: e.Refresh,
+	}
+}
+
+// Record converts the event to its serialisable form.
+func (e StallRejected) Record() Record {
+	return Record{
+		Type: TypeStallRejected, Start: e.Start, End: e.End,
+		DurationS: e.DurationS, Depth: e.Depth, Reason: string(e.Reason),
+	}
+}
+
+// Record converts the event to its serialisable form.
+func (e Resync) Record() Record {
+	return Record{Type: TypeResync, Pos: e.Pos, Cause: string(e.Cause)}
+}
+
+// Record converts the event to its serialisable form.
+func (e QualityFlag) Record() Record {
+	return Record{Type: TypeQualityFlag, Pos: e.Pos, Flags: e.Flags.String(), Retro: e.Retro}
+}
+
+// Record converts the event to its serialisable form.
+func (e ChunkMerged) Record() Record {
+	return Record{Type: TypeChunkMerged, Chunk: e.Chunk, Start: e.Lo, End: e.Hi, Stalls: e.Stalls}
+}
+
+// Record converts the event to its serialisable form.
+func (e StageTiming) Record() Record {
+	return Record{Type: TypeStageTiming, Stage: string(e.Stage), DurationNs: e.DurationNs, Samples: e.Samples}
+}
