@@ -9,8 +9,6 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"strings"
-	"sync/atomic"
 	"time"
 
 	"emprof/internal/service"
@@ -61,11 +59,6 @@ type Client struct {
 	// ChunkSamples is the number of samples per upload request in
 	// StreamCapture (default 65536, i.e. 512 KiB bodies).
 	ChunkSamples int
-
-	// legacy latches once the daemon is detected to predate the /v1
-	// surface (its mux answers /v1 paths with a plain-text 404); requests
-	// are then issued on the unversioned routes.
-	legacy atomic.Bool
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -126,15 +119,11 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 			case <-time.After(c.retryDelay(attempt - 1)):
 			}
 		}
-		p := path
-		if c.legacy.Load() {
-			p = strings.TrimPrefix(p, "/v1")
-		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+p, rd)
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 		if err != nil {
 			return err
 		}
@@ -160,17 +149,12 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 			}
 			return json.Unmarshal(data, out)
 		}
+		// A 404 without the service's JSON error body means the route is
+		// absent from the daemon's mux (an older daemon that predates the
+		// endpoint); APIError.Is surfaces it as ErrUnsupportedEndpoint
+		// rather than ErrSessionNotFound.
 		var ae apiError
 		_ = json.Unmarshal(data, &ae)
-		if resp.StatusCode == http.StatusNotFound && ae.Error == "" &&
-			!c.legacy.Load() && strings.HasPrefix(path, "/v1/") {
-			// A plain-text 404 (no service error body) on a /v1 path means
-			// the daemon predates the versioned surface: latch legacy mode
-			// and replay immediately on the unversioned route.
-			c.legacy.Store(true)
-			attempt--
-			continue
-		}
 		lastErr = &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
 		retryable := transientStatus(resp.StatusCode)
 		if mode == retry429Only {
@@ -269,7 +253,9 @@ type SessionTrace = service.TraceResponse
 // Trace fetches a session's retained decision-trace events — the ring of
 // recent DipCandidate/StallAccepted/StallRejected/Resync/QualityFlag
 // records the daemon keeps per session — without disturbing the stream.
-// Requires a daemon new enough to serve /v1/sessions/{id}/trace.
+// Against a daemon too old to serve /v1/sessions/{id}/trace the error
+// matches ErrUnsupportedEndpoint (and not ErrSessionNotFound); other
+// session calls on the same client are unaffected.
 func (c *Client) Trace(ctx context.Context, id string) (*SessionTrace, error) {
 	var tr SessionTrace
 	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions/"+id+"/trace", "", nil, &tr); err != nil {

@@ -257,10 +257,12 @@ func TestClientTrace(t *testing.T) {
 	}
 }
 
-// TestClientLegacyFallback fronts the daemon with a pre-versioning facade
-// (plain-text 404 on every /v1 path, like an old mux) and checks the
-// client transparently falls back to the unversioned routes.
-func TestClientLegacyFallback(t *testing.T) {
+// TestClientOldDaemon fronts the daemon with a facade serving exactly the
+// first emprofd release's route table — session routes under /v1, no
+// per-session trace endpoint — and checks that Trace surfaces a distinct
+// ErrUnsupportedEndpoint (the mux's plain-text 404) without disturbing
+// any other call on the same client.
+func TestClientOldDaemon(t *testing.T) {
 	capture := simCapture(t)
 	want, err := emprof.Analyze(capture, emprof.DefaultConfig())
 	if err != nil {
@@ -269,7 +271,9 @@ func TestClientLegacyFallback(t *testing.T) {
 	srv, _ := startDaemon(t, service.Config{})
 	inner := srv.Handler()
 	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if strings.HasPrefix(r.URL.Path, "/v1/") {
+		if strings.HasSuffix(r.URL.Path, "/trace") {
+			// The endpoint postdates this daemon: its mux answers with a
+			// bare plain-text 404, no service error body.
 			http.NotFound(w, r)
 			return
 		}
@@ -283,21 +287,42 @@ func TestClientLegacyFallback(t *testing.T) {
 		SampleRate: capture.SampleRate, ClockHz: capture.ClockHz,
 	})
 	if err != nil {
-		t.Fatalf("create against legacy daemon: %v", err)
+		t.Fatalf("create against old daemon: %v", err)
 	}
 	if err := client.StreamCapture(ctx, id, capture); err != nil {
 		t.Fatal(err)
 	}
+
+	// Trace against a daemon that predates the endpoint: the body-less
+	// 404 means "route absent", not "session gone".
+	_, terr := client.Trace(ctx, id)
+	if !errors.Is(terr, emprof.ErrUnsupportedEndpoint) {
+		t.Fatalf("trace on old daemon: got %v, want ErrUnsupportedEndpoint", terr)
+	}
+	if errors.Is(terr, emprof.ErrSessionNotFound) {
+		t.Fatalf("trace on old daemon must not read as a missing session: %v", terr)
+	}
+
+	// The failed Trace must leave the client untouched: the session is
+	// still addressable on /v1 and finalizes to the batch result.
+	if _, err := client.Profile(ctx, id); err != nil {
+		t.Fatalf("profile after unsupported trace: %v", err)
+	}
 	got, err := client.Finalize(ctx, id)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("finalize after unsupported trace: %v", err)
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Fatal("profile through legacy fallback differs from Analyze")
+		t.Fatal("profile via old daemon differs from Analyze")
 	}
-	// A genuine 404 (JSON error body) must still surface, not re-trigger
-	// fallback probing.
-	if _, err := client.Profile(ctx, id); !errors.Is(err, emprof.ErrSessionNotFound) {
-		t.Fatalf("finalized session on legacy daemon: got %v, want ErrSessionNotFound", err)
+
+	// A genuine 404 (the service's JSON error body on an existing route)
+	// still reads as a missing session, not an unsupported endpoint.
+	_, err = client.Profile(ctx, id)
+	if !errors.Is(err, emprof.ErrSessionNotFound) {
+		t.Fatalf("finalized session: got %v, want ErrSessionNotFound", err)
+	}
+	if errors.Is(err, emprof.ErrUnsupportedEndpoint) {
+		t.Fatalf("service 404 must not read as unsupported endpoint: %v", err)
 	}
 }

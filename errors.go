@@ -19,9 +19,16 @@ var (
 	// message names the offending field.
 	ErrBadConfig = errors.New("emprof: bad config")
 	// ErrSessionNotFound is reported by the daemon client when the
-	// addressed profiling session does not exist (HTTP 404) — it was
-	// finalized, collected by the idle TTL, or never created.
+	// daemon answers 404 with its JSON error body: the route exists but
+	// the addressed profiling session does not — it was finalized,
+	// collected by the idle TTL, or never created.
 	ErrSessionNotFound = errors.New("emprof: session not found")
+	// ErrUnsupportedEndpoint is reported by the daemon client when the
+	// daemon answers 404 without the service's JSON error body — the
+	// route is absent from its mux, i.e. the daemon predates the
+	// requested endpoint (for example Trace against an emprofd built
+	// before /v1/sessions/{id}/trace existed).
+	ErrUnsupportedEndpoint = errors.New("emprof: endpoint not supported by daemon")
 	// ErrRetriesExhausted is reported by the daemon client when a request
 	// kept failing transiently until the retry budget ran out; the last
 	// underlying failure is wrapped alongside it.
@@ -30,22 +37,32 @@ var (
 
 // APIError is a non-2xx emprofd response, carrying the HTTP status and
 // the daemon's error message. It matches the corresponding sentinel
-// errors under errors.Is: a 404 is ErrSessionNotFound and a 400 is
-// ErrBadCapture, so callers can branch without inspecting status codes.
+// errors under errors.Is: a 404 carrying the daemon's JSON error body
+// is ErrSessionNotFound, a body-less 404 (route absent from the mux)
+// is ErrUnsupportedEndpoint, and a 400 is ErrBadCapture, so callers can
+// branch without inspecting status codes.
 type APIError struct {
 	StatusCode int
 	Message    string
 }
 
 func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("emprofd: HTTP %d", e.StatusCode)
+	}
 	return fmt.Sprintf("emprofd: HTTP %d: %s", e.StatusCode, e.Message)
 }
 
-// Is maps daemon status codes onto the package's sentinel errors.
+// Is maps daemon status codes onto the package's sentinel errors. Only
+// a 404 that carried the service's JSON error body means "the session
+// does not exist"; a 404 without one means the daemon's mux has no such
+// route at all (daemon too old for the endpoint).
 func (e *APIError) Is(target error) bool {
 	switch target {
 	case ErrSessionNotFound:
-		return e.StatusCode == http.StatusNotFound
+		return e.StatusCode == http.StatusNotFound && e.Message != ""
+	case ErrUnsupportedEndpoint:
+		return e.StatusCode == http.StatusNotFound && e.Message == ""
 	case ErrBadCapture:
 		return e.StatusCode == http.StatusBadRequest
 	}

@@ -137,7 +137,7 @@ type monitor struct {
 	// normalisation absorbs by design — a down-step of less than ~2.8×
 	// cannot push the busy level under the dip-entry threshold — so only
 	// steps large enough to fake a stall need an explicit resync.
-	stepRatio float64
+	stepRatio     float64
 	burstK        float64 // spike threshold as a multiple of ref
 	clipMinFrac   float64 // flat-lines below this fraction of ref are ignored
 	refAlpha      float64 // busy-reference EMA coefficient
@@ -205,10 +205,10 @@ func newMonitor(cfg Config, sampleRate float64) *monitor {
 		refWin = w4
 	}
 	return &monitor{
-		persist:       p,
-		resyncGap:     max(8, win/16),
-		clipRun:       4,
-		half:          win / 2,
+		persist:   p,
+		resyncGap: max(8, win/16),
+		clipRun:   4,
+		half:      win / 2,
 		stepRatio: 2.5,
 		// burstK matches stepRatio so the two detectors partition all
 		// upward excursions: everything above the band is held out of the

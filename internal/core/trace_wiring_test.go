@@ -13,7 +13,7 @@ import (
 // exactly with the profile: every dip candidate is resolved by exactly one
 // accept or reject, and the event counters match the profile's own.
 func TestObserverAccountingBatch(t *testing.T) {
-	c := syntheticCapture(1 << 18, 7, true)
+	c := syntheticCapture(1<<18, 7, true)
 	a := MustNewAnalyzer(DefaultConfig())
 	m := trace.NewMetrics()
 	a.Observer = m

@@ -210,12 +210,12 @@ func TestSliceDegenerateBounds(t *testing.T) {
 	cases := []struct {
 		lo, hi, want int
 	}{
-		{200, 300, 0},  // lo > len
-		{15, 5, 0},     // lo > len, hi in range
-		{3, -2, 0},     // negative hi
-		{-4, -1, 0},    // both negative
-		{0, 10, 10},    // full range stays full
-		{10, 10, 0},    // empty at the end
+		{200, 300, 0},   // lo > len
+		{15, 5, 0},      // lo > len, hi in range
+		{3, -2, 0},      // negative hi
+		{-4, -1, 0},     // both negative
+		{0, 10, 10},     // full range stays full
+		{10, 10, 0},     // empty at the end
 		{-100, 100, 10}, // wildly out of range on both sides
 	}
 	for _, tc := range cases {

@@ -201,6 +201,8 @@ func TestMetricsIncludeTrace(t *testing.T) {
 		"emprofd_trace_dip_candidates_total",
 		"emprofd_trace_stalls_accepted_total",
 		"emprofd_trace_stall_depth_bucket",
+		"emprofd_trace_stall_depth_sum",
+		"emprofd_trace_stall_depth_count",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %s", want)

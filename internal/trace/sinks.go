@@ -150,6 +150,7 @@ type Metrics struct {
 	flagged    [5]uint64 // indexed by flag bit position: nan, gap, clip, burst, step
 	chunks     uint64
 	depthHist  [DepthBuckets]uint64
+	depthSum   float64
 	stages     map[Stage]*stageStat
 }
 
@@ -182,6 +183,7 @@ func (m *Metrics) StallAccepted(e StallAccepted) {
 		b = DepthBuckets - 1
 	}
 	m.depthHist[b]++
+	m.depthSum += e.Depth
 	m.mu.Unlock()
 }
 
@@ -239,6 +241,7 @@ type Snapshot struct {
 	FlaggedSamples map[string]uint64
 	ChunksMerged   uint64
 	DepthHist      [DepthBuckets]uint64
+	DepthSum       float64
 	StageNs        map[Stage]int64
 }
 
@@ -252,6 +255,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		RefreshStalls:  m.refresh,
 		ChunksMerged:   m.chunks,
 		DepthHist:      m.depthHist,
+		DepthSum:       m.depthSum,
 		Rejected:       make(map[RejectReason]uint64, len(m.rejected)),
 		Resyncs:        make(map[ResyncCause]uint64, len(m.resyncs)),
 		FlaggedSamples: make(map[string]uint64),
@@ -324,6 +328,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 		fmt.Fprintf(w, "%s_stall_depth_bucket{le=\"%.1f\"} %d\n", prefix, float64(i+1)/DepthBuckets, cum)
 	}
 	fmt.Fprintf(w, "%s_stall_depth_bucket{le=\"+Inf\"} %d\n", prefix, cum)
+	fmt.Fprintf(w, "%s_stall_depth_sum %g\n", prefix, m.depthSum)
 	fmt.Fprintf(w, "%s_stall_depth_count %d\n", prefix, m.accepted)
 
 	fmt.Fprintf(w, "# HELP %s_stage_ns_total Analyzer stage wall time in nanoseconds.\n", prefix)

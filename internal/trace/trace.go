@@ -32,6 +32,8 @@
 // analyzers emit from a single goroutine).
 package trace
 
+import "encoding/json"
+
 // Flag marks the impairment classes a sample belongs to, as detected by
 // the analyzers' signal-quality monitor. The bit layout is shared with
 // internal/core's per-sample mask.
@@ -316,8 +318,10 @@ const (
 
 // Record is the flat, serialisable form of any event — the unit stored
 // by Ring and written by JSONL. Type is always set; the remaining fields
-// are populated per event type and omitted from JSON when zero, so each
-// line carries only the fields that mean something for its type.
+// are populated per event type. MarshalJSON emits exactly the fields
+// that apply to the record's type, so each line carries only the fields
+// that mean something for its type — but carries all of those, zero
+// values included.
 type Record struct {
 	Type string `json:"type"`
 
@@ -342,6 +346,77 @@ type Record struct {
 	Stage      string  `json:"stage,omitempty"`
 	DurationNs int64   `json:"duration_ns,omitempty"`
 	Samples    int64   `json:"samples,omitempty"`
+}
+
+// MarshalJSON serialises the record with exactly the field set of its
+// event type: a field that applies to the type is always present (a
+// dip at pos 0 keeps "pos":0, a stall with confidence 0 keeps
+// "confidence":0), and a field of another event type never appears —
+// so JSONL consumers and the /trace endpoint can distinguish "value is
+// zero" from "field not applicable". Unknown types fall back to the
+// plain struct encoding with zero fields omitted.
+func (r Record) MarshalJSON() ([]byte, error) {
+	switch r.Type {
+	case TypeDipCandidate:
+		return json.Marshal(struct {
+			Type  string  `json:"type"`
+			Pos   int64   `json:"pos"`
+			Value float64 `json:"value"`
+			Lo    float64 `json:"lo"`
+			Hi    float64 `json:"hi"`
+		}{r.Type, r.Pos, r.Value, r.Lo, r.Hi})
+	case TypeStallAccepted:
+		return json.Marshal(struct {
+			Type       string  `json:"type"`
+			Start      int64   `json:"start"`
+			End        int64   `json:"end"`
+			StartS     float64 `json:"start_s"`
+			DurationS  float64 `json:"duration_s"`
+			Cycles     float64 `json:"cycles"`
+			Depth      float64 `json:"depth"`
+			Confidence float64 `json:"confidence"`
+			Refresh    bool    `json:"refresh"`
+		}{r.Type, r.Start, r.End, r.StartS, r.DurationS, r.Cycles, r.Depth, r.Confidence, r.Refresh})
+	case TypeStallRejected:
+		return json.Marshal(struct {
+			Type      string  `json:"type"`
+			Start     int64   `json:"start"`
+			End       int64   `json:"end"`
+			DurationS float64 `json:"duration_s"`
+			Depth     float64 `json:"depth"`
+			Reason    string  `json:"reason"`
+		}{r.Type, r.Start, r.End, r.DurationS, r.Depth, r.Reason})
+	case TypeResync:
+		return json.Marshal(struct {
+			Type  string `json:"type"`
+			Pos   int64  `json:"pos"`
+			Cause string `json:"cause"`
+		}{r.Type, r.Pos, r.Cause})
+	case TypeQualityFlag:
+		return json.Marshal(struct {
+			Type  string `json:"type"`
+			Pos   int64  `json:"pos"`
+			Flags string `json:"flags"`
+			Retro int    `json:"retro"`
+		}{r.Type, r.Pos, r.Flags, r.Retro})
+	case TypeChunkMerged:
+		return json.Marshal(struct {
+			Type   string `json:"type"`
+			Chunk  int    `json:"chunk"`
+			Start  int64  `json:"start"`
+			End    int64  `json:"end"`
+			Stalls int    `json:"stalls"`
+		}{r.Type, r.Chunk, r.Start, r.End, r.Stalls})
+	case TypeStageTiming:
+		return json.Marshal(struct {
+			Type       string `json:"type"`
+			Stage      string `json:"stage"`
+			DurationNs int64  `json:"duration_ns"`
+			Samples    int64  `json:"samples"`
+		}{r.Type, r.Stage, r.DurationNs, r.Samples})
+	}
+	type plain Record
+	return json.Marshal(plain(r))
 }
 
 // Record converts the event to its serialisable form.

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -168,6 +169,9 @@ func TestMetricsAggregation(t *testing.T) {
 	if s.DepthHist[1] != 1 || s.DepthHist[9] != 2 {
 		t.Errorf("depth hist = %v", s.DepthHist)
 	}
+	if want := 0.15 + 0.95 + 2.5; math.Abs(s.DepthSum-want) > 1e-12 {
+		t.Errorf("depth sum = %v, want %v", s.DepthSum, want)
+	}
 	if s.StageNs[StageScan] != 1234 {
 		t.Errorf("stage ns = %v", s.StageNs)
 	}
@@ -190,6 +194,8 @@ func TestMetricsPrometheus(t *testing.T) {
 		`emprofd_trace_flagged_samples_total{class="gap"} 4`,
 		"emprofd_trace_chunks_merged_total 1",
 		`emprofd_trace_stall_depth_bucket{le="+Inf"} 1`,
+		"emprofd_trace_stall_depth_sum 0.15",
+		"emprofd_trace_stall_depth_count 1",
 		`emprofd_trace_stage_ns_total{stage="scan"} 1234`,
 		`emprofd_trace_stage_samples_total{stage="scan"} 4096`,
 	} {
