@@ -14,6 +14,16 @@
 //
 //	emsim -parallel -device olimex,samsung -workload micro:256:8,spec:mcf -seeds 3 -jobs 4
 //	emsim -parallel -device olimex -bws 20e6,40e6,80e6 -fault-dropout 0.005
+//
+// The probe can be displaced from the best-coupling reference placement
+// (-probe-x/-probe-y/-probe-orient), bumped or drifted mid-capture
+// (-fault-probe-*), and -probe-search replaces acquisition with a
+// SCNIFFER-style compass search that auto-places the probe:
+//
+//	emsim -device olimex -probe-x 2.5 -probe-orient 30 -o off.cap
+//	emsim -device olimex -fault-probe-bump 1.75 -fault-probe-bump-at 0.0005 -o bumped.cap
+//	emsim -probe-search -device olimex -probe-x 4 -probe-y -3
+//	emsim -parallel -device olimex -probe-offsets 0,1,2,4
 package main
 
 import (
@@ -46,6 +56,17 @@ func main() {
 		traceOut   = flag.String("trace", "", "with -serve-url: save the daemon's decision trace for the session to this JSONL file before finalizing")
 		showVer    = flag.Bool("version", false, "print version and exit")
 
+		// Probe placement: displace the processor probe from the reference
+		// point, or search for the best placement instead of capturing.
+		probeX      = flag.Float64("probe-x", 0, "probe x displacement from the reference placement in mm")
+		probeY      = flag.Float64("probe-y", 0, "probe y displacement from the reference placement in mm")
+		probeOrient = flag.Float64("probe-orient", 0, "probe loop-plane misalignment in degrees")
+		probeSearch = flag.Bool("probe-search", false, "run the SCNIFFER-style placement search from the -probe-x/-probe-y start instead of capturing")
+		probeStep   = flag.Float64("probe-step", 0, "placement search initial compass step in mm (0 = default)")
+		probeMin    = flag.Float64("probe-min-step", 0, "placement search final step in mm (0 = default)")
+		probeEvals  = flag.Int("probe-evals", 0, "placement search pilot-capture budget (0 = default)")
+		probeOffs   = flag.String("probe-offsets", "", "comma-separated sweep probe offsets in mm (empty = reference placement)")
+
 		// Sweep mode: run a device × workload × seed × bandwidth grid on a
 		// worker pool and print per-cell analysis results.
 		parallel = flag.Bool("parallel", false, "run a sweep over the device/workload/seed/bandwidth grid instead of writing one capture")
@@ -55,14 +76,17 @@ func main() {
 
 		// Acquisition fault injection (internal/faults): impair the clean
 		// capture before writing it, to exercise robustness downstream.
-		faultDropout    = flag.Float64("fault-dropout", 0, "fraction of samples lost to zero-filled dropouts")
-		faultDropoutLen = flag.Float64("fault-dropout-len", 0, "mean dropout gap length in samples (0 = default)")
-		faultClip       = flag.Float64("fault-clip", 0, "ADC saturation ceiling (absolute magnitude, 0 = off)")
-		faultGainSteps  = flag.Float64("fault-gain-steps", 0, "expected receiver gain steps per second")
-		faultDrift      = flag.Float64("fault-drift", 0, "probe-coupling drift depth in [0,1)")
-		faultBurst      = flag.Float64("fault-burst", 0, "fraction of samples hit by impulsive RF bursts")
-		faultNaN        = flag.Float64("fault-nan", 0, "per-sample probability of NaN corruption")
-		faultSeed       = flag.Uint64("fault-seed", 1, "fault-injection seed")
+		faultDropout     = flag.Float64("fault-dropout", 0, "fraction of samples lost to zero-filled dropouts")
+		faultDropoutLen  = flag.Float64("fault-dropout-len", 0, "mean dropout gap length in samples (0 = default)")
+		faultClip        = flag.Float64("fault-clip", 0, "ADC saturation ceiling (absolute magnitude, 0 = off)")
+		faultGainSteps   = flag.Float64("fault-gain-steps", 0, "expected receiver gain steps per second")
+		faultDrift       = flag.Float64("fault-drift", 0, "probe-coupling drift depth in [0,1)")
+		faultBurst       = flag.Float64("fault-burst", 0, "fraction of samples hit by impulsive RF bursts")
+		faultNaN         = flag.Float64("fault-nan", 0, "per-sample probability of NaN corruption")
+		faultProbeDrift  = flag.Float64("fault-probe-drift", 0, "slow probe-position drift amplitude in mm")
+		faultProbeBump   = flag.Float64("fault-probe-bump", 0, "mid-capture probe bump displacement in mm (signed)")
+		faultProbeBumpAt = flag.Float64("fault-probe-bump-at", 0, "probe bump time in seconds from capture start")
+		faultSeed        = flag.Uint64("fault-seed", 1, "fault-injection seed")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -111,15 +135,24 @@ func main() {
 		DriftDepth:     *faultDrift,
 		BurstRate:      *faultBurst,
 		NaNRate:        *faultNaN,
+		ProbeDriftMM:   *faultProbeDrift,
+		ProbeBumpMM:    *faultProbeBump,
+		ProbeBumpAtS:   *faultProbeBumpAt,
 		Seed:           *faultSeed,
 	}
 	// Gate on any fault flag being set at all (not spec.Enabled, which is
 	// false for out-of-range values): a typo like -fault-dropout -0.1 must
 	// reach validation and error out, not be silently ignored.
 	faultsSet := spec != (emprof.FaultSpec{Seed: spec.Seed})
+	probe := emprof.ProbePosition{XMM: *probeX, YMM: *probeY, OrientationDeg: *probeOrient}
 
+	if *probeSearch {
+		runProbeSearch(*deviceName, *workload, *scale, *seed, *bw, probe,
+			*probeStep, *probeMin, *probeEvals)
+		return
+	}
 	if *parallel {
-		runSweep(*deviceName, *workload, *bws, *scale, *seeds, *jobs, *noiseFree, faultsSet, spec)
+		runSweep(*deviceName, *workload, *bws, *probeOffs, *scale, *seeds, *jobs, *noiseFree, faultsSet, spec)
 		return
 	}
 
@@ -135,6 +168,7 @@ func main() {
 		Seed:        *seed,
 		BandwidthHz: *bw,
 		NoiseFree:   *noiseFree,
+		Probe:       probe,
 	})
 	if err != nil {
 		fatal(err)
@@ -172,7 +206,7 @@ func main() {
 
 // runSweep expands the grid flags into jobs, executes them on the worker
 // pool, and prints one row per cell.
-func runSweep(devices, workloads, bws string, scale float64, seeds, workers int, noiseFree, faultsSet bool, spec emprof.FaultSpec) {
+func runSweep(devices, workloads, bws, probeOffs string, scale float64, seeds, workers int, noiseFree, faultsSet bool, spec emprof.FaultSpec) {
 	grid := emprof.SweepGrid{
 		Devices:   splitList(devices),
 		Workloads: splitList(workloads),
@@ -189,6 +223,13 @@ func runSweep(devices, workloads, bws string, scale float64, seeds, workers int,
 		}
 		grid.BandwidthsHz = append(grid.BandwidthsHz, hz)
 	}
+	for _, f := range splitList(probeOffs) {
+		mm, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -probe-offsets entry %q: %w", f, err))
+		}
+		grid.ProbeOffsetsMM = append(grid.ProbeOffsetsMM, mm)
+	}
 	if faultsSet {
 		grid.Faults = spec
 	}
@@ -198,27 +239,63 @@ func runSweep(devices, workloads, bws string, scale float64, seeds, workers int,
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-8s %-14s %5s %9s  %8s %8s %9s %9s\n",
-		"device", "workload", "seed", "bw", "misses", "true", "stall-cyc", "true-cyc")
+	// The probe column only appears when the sweep actually has a
+	// displacement dimension, keeping the default output stable.
+	withProbe := len(grid.ProbeOffsetsMM) > 0
+	probeHdr, probeCell := "", ""
+	if withProbe {
+		probeHdr = fmt.Sprintf(" %8s", "probe")
+	}
+	fmt.Printf("%-8s %-14s %5s %9s%s  %8s %8s %9s %9s\n",
+		"device", "workload", "seed", "bw", probeHdr, "misses", "true", "stall-cyc", "true-cyc")
 	failed := 0
 	for _, r := range res {
 		bwLabel := "default"
 		if r.Job.BandwidthHz > 0 {
 			bwLabel = fmt.Sprintf("%.0fMHz", r.Job.BandwidthHz/1e6)
 		}
+		if withProbe {
+			probeCell = fmt.Sprintf(" %6.2fmm", r.Job.Probe.OffsetMM())
+		}
 		if r.Err != nil {
 			failed++
-			fmt.Printf("%-8s %-14s %5d %9s  error: %v\n",
-				r.Job.Device, r.Job.Workload, r.Job.Seed, bwLabel, r.Err)
+			fmt.Printf("%-8s %-14s %5d %9s%s  error: %v\n",
+				r.Job.Device, r.Job.Workload, r.Job.Seed, bwLabel, probeCell, r.Err)
 			continue
 		}
-		fmt.Printf("%-8s %-14s %5d %9s  %8d %8d %9.0f %9d\n",
-			r.Job.Device, r.Job.Workload, r.Job.Seed, bwLabel,
+		fmt.Printf("%-8s %-14s %5d %9s%s  %8d %8d %9.0f %9d\n",
+			r.Job.Device, r.Job.Workload, r.Job.Seed, bwLabel, probeCell,
 			r.Profile.Misses, r.TrueMisses, r.Profile.StallCycles, r.TrueStallCycles)
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("%d/%d jobs failed", failed, len(res)))
 	}
+}
+
+// runProbeSearch auto-places the probe: a compass search over the
+// placement plane maximising received signal strength × profile
+// trustworthiness, printing the search path and the recovered placement.
+func runProbeSearch(device, workload string, scale float64, seed uint64, bw float64, start emprof.ProbePosition, step, minStep float64, evals int) {
+	res, err := emprof.SearchProbePlacement(context.Background(), emprof.ProbeSearchOptions{
+		Device:      device,
+		Workload:    workload,
+		ScaleM:      scale,
+		Seed:        seed,
+		BandwidthHz: bw,
+		Start:       start,
+		StepMM:      step,
+		MinStepMM:   minStep,
+		MaxEvals:    evals,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("probe search: %d pilot captures from %s\n", len(res.Evals), start)
+	for i, e := range res.Evals {
+		fmt.Printf("  %3d  %-28s score %.4f\n", i+1, e.Position.String(), e.Score)
+	}
+	fmt.Printf("best placement: %s (score %.4f, %.2f mm from reference)\n",
+		res.Best, res.Score, res.Best.OffsetMM())
 }
 
 // serveCapture streams the capture to an emprofd daemon and prints the

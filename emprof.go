@@ -36,6 +36,13 @@ import (
 // and the profiled processor's clock frequency.
 type Capture = em.Capture
 
+// ProbePosition is a probe placement relative to the best-coupling
+// reference point: lateral offset in millimetres plus loop-plane
+// misalignment in degrees. The zero value is the reference placement
+// (bit-identical to captures that predate the spatial model); see
+// CaptureOptions.Probe and em.CouplingAt for the displacement physics.
+type ProbePosition = em.ProbePosition
+
 // Config tunes the profiler; see DefaultConfig.
 type Config = core.Config
 

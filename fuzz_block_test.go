@@ -30,7 +30,12 @@ func fuzzReceiverConfigs() []em.ReceiverConfig {
 		DriftDepth:   0.1,
 		Seed:         31,
 	}
-	return []em.ReceiverConfig{clean, noisy, drifty, full}
+	// The full chain with the probe displaced and tilted, so the spatial
+	// coupling stage (blur + leak + gain) is in the block/scalar
+	// equivalence loop too.
+	displaced := full
+	displaced.Position = em.ProbePosition{XMM: 1.5, YMM: -0.5, OrientationDeg: 20}
+	return []em.ReceiverConfig{clean, noisy, drifty, full, displaced}
 }
 
 // FuzzSynthesisBlock feeds arbitrary per-cycle power series — optionally
@@ -88,6 +93,9 @@ func FuzzSynthesisBlock(f *testing.F) {
 				DriftDepth:    0.2,
 				BurstRate:     0.01,
 				NaNRate:       0.005,
+				ProbeDriftMM:  0.6,
+				ProbeBumpMM:   1.2,
+				ProbeBumpAtS:  float64(n/2) / 40e6,
 				Seed:          split ^ 0xbeef,
 			})
 			if err != nil {

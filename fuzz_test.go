@@ -24,20 +24,29 @@ func fuzzConfigs() []Config {
 	tight := base
 	tight.EnterThreshold = 0.2
 	tight.ExitThreshold = 0.3
-	return []Config{base, narrow, mid, raw, smooth, tight}
+	// Probe-shift detection armed, alone and on the short window, so the
+	// fuzzer exercises the shift tracker's interaction with every other
+	// monitor path.
+	shift := base
+	shift.ProbeShiftRatio = 1.4
+	shiftNarrow := narrow
+	shiftNarrow.ProbeShiftRatio = 1.2
+	return []Config{base, narrow, mid, raw, smooth, tight, shift, shiftNarrow}
 }
 
 // FuzzAnalyze feeds arbitrary sample data and config permutations through
-// the batch, streaming, and parallel analyzers. None may ever panic —
-// including on NaN/Inf garbage — and on captures at least one
-// normalisation window long all three must agree exactly (the batch
+// the batch, streaming, and parallel analyzers — optionally routing the
+// capture through the probe drift+bump fault injector first, so the
+// position-adaptive resync path sees adversarial inputs too. None may
+// ever panic — including on NaN/Inf garbage — and on captures at least
+// one normalisation window long all three must agree exactly (the batch
 // analyzer clamps its window on shorter captures, where the pipelines
 // legitimately differ). The parallel analyzer runs with a deliberately
 // tiny chunk size so fuzz-sized inputs actually shard instead of falling
 // back to the sequential path.
 func FuzzAnalyze(f *testing.F) {
-	f.Add([]byte{}, uint8(0))
-	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, uint8(1))
+	f.Add([]byte{}, uint8(0), false)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, uint8(1), false)
 	// A busy level with one dip, in raw float bytes.
 	seed := make([]byte, 0, 1024*8)
 	var b [8]byte
@@ -49,7 +58,22 @@ func FuzzAnalyze(f *testing.F) {
 		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
 		seed = append(seed, b[:]...)
 	}
-	f.Add(seed, uint8(1))
+	f.Add(seed, uint8(1), false)
+	// The same dip capture through the probe faults with the shift
+	// detector armed (config 6).
+	f.Add(seed, uint8(6), true)
+	// A bump-shaped capture: busy level halves at the midpoint, the exact
+	// shape the probe-shift resync exists for.
+	bump := make([]byte, 0, 2048*8)
+	for i := 0; i < 2048; i++ {
+		v := 1.0
+		if i >= 1024 {
+			v = 1.0 / 2.35
+		}
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		bump = append(bump, b[:]...)
+	}
+	f.Add(bump, uint8(7), false)
 	// Non-finite and zero patterns.
 	nasty := make([]byte, 0, 64*8)
 	for i := 0; i < 64; i++ {
@@ -65,10 +89,10 @@ func FuzzAnalyze(f *testing.F) {
 		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
 		nasty = append(nasty, b[:]...)
 	}
-	f.Add(nasty, uint8(3))
+	f.Add(nasty, uint8(3), true)
 
 	cfgs := fuzzConfigs()
-	f.Fuzz(func(t *testing.T, data []byte, sel uint8) {
+	f.Fuzz(func(t *testing.T, data []byte, sel uint8, probeFault bool) {
 		n := len(data) / 8
 		if n > 1<<15 {
 			n = 1 << 15
@@ -80,6 +104,18 @@ func FuzzAnalyze(f *testing.F) {
 		cfg := cfgs[int(sel)%len(cfgs)]
 		const sampleRate, clockHz = 40e6, 1e9
 		c := &Capture{Samples: samples, SampleRate: sampleRate, ClockHz: clockHz}
+		if probeFault && n > 0 {
+			out, _, err := InjectFaults(c, FaultSpec{
+				ProbeDriftMM: 0.8,
+				ProbeBumpMM:  1.75,
+				ProbeBumpAtS: float64(n/2) / sampleRate,
+				Seed:         uint64(sel) + 1,
+			})
+			if err != nil {
+				t.Fatalf("InjectFaults: %v", err)
+			}
+			c = out
+		}
 
 		pb, err := Analyze(c, cfg)
 		if err != nil {

@@ -64,6 +64,18 @@ type Config struct {
 	// relative range; windows whose "range" is just busy-IPC ripple
 	// (marker loops, cache-resident code) stay below the guard.
 	MinRangeFrac float64
+	// ProbeShiftRatio, when > 1, arms the position-adaptive resync: a
+	// busy-level shift sustained beyond the stall ceiling whose ratio
+	// exceeds this value (or falls below its inverse) re-seeds the
+	// normalisation state, flagging the straddling half-window so a probe
+	// bump costs one bounded resync instead of a run of phantom stalls.
+	// It covers the band below the gain-step detector (ratio 2.5), where
+	// a 1–2 mm probe bump lands. 0 (the default) disables the detector;
+	// it is opt-in because workload phase changes legitimately move the
+	// busy level by up to ~2.2×, so values that low trade spurious
+	// resyncs on phase-heavy workloads for probe robustness. 1.4 works
+	// well when the probe is expected to move.
+	ProbeShiftRatio float64
 }
 
 // DefaultConfig returns the profiler configuration used for all paper
@@ -108,6 +120,9 @@ func (c Config) Validate() error {
 	}
 	if c.MinRangeFrac < 0 || c.MinRangeFrac >= 1 {
 		return fmt.Errorf("core: min range fraction %v out of [0,1)", c.MinRangeFrac)
+	}
+	if c.ProbeShiftRatio != 0 && c.ProbeShiftRatio <= 1 {
+		return fmt.Errorf("core: probe shift ratio %v invalid (0 disables, else > 1)", c.ProbeShiftRatio)
 	}
 	return nil
 }

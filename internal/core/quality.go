@@ -47,8 +47,8 @@ type Quality struct {
 	// BurstSamples counts impulsive spikes implausibly far above the
 	// busy-level reference (RF interference).
 	BurstSamples int64
-	// StepSamples counts samples inside confirmed gain-step transition
-	// regions.
+	// StepSamples counts samples inside confirmed gain-step (or, with
+	// ProbeShiftRatio armed, probe-shift) transition regions.
 	StepSamples int64
 	// Resyncs counts normalisation re-seeds: the min/max windows were
 	// reset after a long gap or a receiver gain discontinuity.
@@ -137,7 +137,15 @@ type monitor struct {
 	// normalisation absorbs by design — a down-step of less than ~2.8×
 	// cannot push the busy level under the dip-entry threshold — so only
 	// steps large enough to fake a stall need an explicit resync.
-	stepRatio     float64
+	stepRatio float64
+	// shiftRatio, when > 0, arms the opt-in probe-shift detector (the
+	// config's ProbeShiftRatio): a sustained band departure smaller than a
+	// gain step but larger than this ratio re-seeds the normalisation with
+	// cause probe_shift. It shares the persist discipline — and the
+	// retroactive half-window flagging — with the step detector, so a
+	// probe bump costs exactly one bounded resync. 0 leaves every code
+	// path bit-identical to the shift-free monitor.
+	shiftRatio    float64
 	burstK        float64 // spike threshold as a multiple of ref
 	clipMinFrac   float64 // flat-lines below this fraction of ref are ignored
 	refAlpha      float64 // busy-reference EMA coefficient
@@ -167,6 +175,14 @@ type monitor struct {
 	// window after it ends; this distinguishes a live step (raw highs
 	// keep re-asserting) from a dead burst tail.
 	sinceHigh int
+	// shiftDir/shiftLen/sinceShiftHigh mirror the step-candidacy state at
+	// the shift band edge; maintained only when shiftRatio > 0.
+	shiftDir       int
+	shiftLen       int
+	sinceShiftHigh int
+	// pendingCause is the resync cause reported when stepResyncPending
+	// fires (gain-step or probe-shift).
+	pendingCause trace.ResyncCause
 	// distinct is an EMA of "this sample differs from the previous one".
 	// Noise-free captures (the SESC power proxy) legitimately flat-line
 	// on busy plateaus; the clip detector is armed only while the signal
@@ -205,11 +221,12 @@ func newMonitor(cfg Config, sampleRate float64) *monitor {
 		refWin = w4
 	}
 	return &monitor{
-		persist:   p,
-		resyncGap: max(8, win/16),
-		clipRun:   4,
-		half:      win / 2,
-		stepRatio: 2.5,
+		persist:    p,
+		resyncGap:  max(8, win/16),
+		clipRun:    4,
+		half:       win / 2,
+		stepRatio:  2.5,
+		shiftRatio: cfg.ProbeShiftRatio,
 		// burstK matches stepRatio so the two detectors partition all
 		// upward excursions: everything above the band is held out of the
 		// sanitised stream as a burst, while the raw value still drives
@@ -252,7 +269,7 @@ func (m *monitor) processInner(x float64) (y float64, fl qflag, retro int, resyn
 	if m.stepResyncPending {
 		resync = true
 		m.stepResyncPending = false
-		m.resyncCause = trace.ResyncGainStep
+		m.resyncCause = m.pendingCause
 	}
 
 	// Non-finite corruption: hold the last good value so a single NaN can
@@ -380,6 +397,19 @@ func (m *monitor) track(y float64) (resync bool, retro int) {
 	} else if ratio < 1/m.stepRatio {
 		dir = -1
 	}
+	sdir := 0
+	if m.shiftRatio > 0 {
+		if y > m.shiftRatio*m.ref {
+			m.sinceShiftHigh = 0
+		} else if m.sinceShiftHigh < 1<<30 {
+			m.sinceShiftHigh++
+		}
+		if ratio > m.shiftRatio {
+			sdir = 1
+		} else if ratio < 1/m.shiftRatio {
+			sdir = -1
+		}
+	}
 	// An up-candidacy whose raw highs stopped more than half a persist
 	// window ago is a dead excursion the moving max is still holding (a
 	// burst tail), not a gain step: drop it and leave the reference
@@ -387,12 +417,20 @@ func (m *monitor) track(y float64) (resync bool, retro int) {
 	// stall, and stalls are bounded by 0.4 persist (RefreshMinS).
 	if dir == 1 && m.sinceHigh > m.persist/2 {
 		m.stepDir, m.stepLen = 0, 0
+		if m.shiftRatio > 0 {
+			return m.trackShift(sdir, sm)
+		}
 		return false, 0
 	}
 	switch {
 	case dir == 0:
 		m.stepDir, m.stepLen = 0, 0
-		m.ref += m.refAlpha * (sm - m.ref)
+		// A live shift candidacy freezes the reference: with refWin ≥
+		// 2×persist the EMA would otherwise absorb a moderate shift
+		// before it can persist long enough to confirm.
+		if sdir == 0 {
+			m.ref += m.refAlpha * (sm - m.ref)
+		}
 	case dir == m.stepDir:
 		m.stepLen++
 	default:
@@ -412,6 +450,50 @@ func (m *monitor) track(y float64) (resync bool, retro int) {
 		m.q.StepSamples += int64(retro) + 1
 		m.ref = sm
 		m.stepDir, m.stepLen = 0, 0
+		m.shiftDir, m.shiftLen = 0, 0
+		m.pendingCause = trace.ResyncGainStep
+		return true, retro
+	}
+	if m.shiftRatio > 0 {
+		return m.trackShift(sdir, sm)
+	}
+	return false, 0
+}
+
+// trackShift advances the probe-shift candidacy (the shift-band twin of
+// the step detector, active only when shiftRatio > 0). A shift departs
+// the band less violently than a step, so the step detector keeps
+// priority: track calls this only when no step confirmed this sample.
+func (m *monitor) trackShift(sdir int, sm float64) (resync bool, retro int) {
+	// Same dead-excursion gate as the step detector, at the shift band
+	// edge: an up-shift whose raw highs stopped re-asserting is a held
+	// burst tail, not the probe moving back toward the sweet spot.
+	if sdir == 1 && m.sinceShiftHigh > m.persist/2 {
+		m.shiftDir, m.shiftLen = 0, 0
+		return false, 0
+	}
+	switch {
+	case sdir == 0:
+		m.shiftDir, m.shiftLen = 0, 0
+	case sdir == m.shiftDir:
+		m.shiftLen++
+	default:
+		m.shiftDir, m.shiftLen = sdir, 1
+	}
+	if m.shiftLen >= m.persist {
+		m.q.Resyncs++
+		// Same retroactive half-window discipline as a confirmed step:
+		// every decision straddling the shift is unreliable, and the
+		// flags bound the phantom stalls a bump can cause.
+		retro = m.half - 1
+		if retro < 0 {
+			retro = 0
+		}
+		m.q.StepSamples += int64(retro) + 1
+		m.ref = sm
+		m.shiftDir, m.shiftLen = 0, 0
+		m.stepDir, m.stepLen = 0, 0
+		m.pendingCause = trace.ResyncProbeShift
 		return true, retro
 	}
 	return false, 0

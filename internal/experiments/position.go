@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"emprof"
+	"emprof/internal/core"
+	"emprof/internal/device"
+	"emprof/internal/em"
+	"emprof/internal/faults"
+	"emprof/internal/workloads"
+)
+
+// Position is this repository's probe-placement experiment, the scenario
+// axis the paper's setup notes motivate ("even small changes in
+// probe/antenna position can dramatically change the overall magnitude of
+// the received signal"). It has two parts: a static displacement grid —
+// the same engineered microbenchmark profiled with the probe parked at
+// increasing lateral offsets, run through RunSweep — and a mid-capture
+// probe bump comparing the default profiler against the position-adaptive
+// configuration (ProbeShiftRatio armed).
+type Position struct {
+	Device     string
+	Workload   string
+	TrueMisses int
+	Rows       []PositionRow
+	Bump       *PositionBump
+}
+
+// PositionRow is one static displacement of the grid.
+type PositionRow struct {
+	// OffsetMM is the lateral probe displacement; Gain the resulting
+	// coupling gain (em.PositionGain).
+	OffsetMM float64
+	Gain     float64
+	Detected int
+	// ErrPct is the signed miss-count error vs the engineered truth.
+	ErrPct    float64
+	MeanConf  float64
+	UsablePct float64
+}
+
+// PositionBump is the mid-capture bump comparison: the same bumped
+// capture analysed without and with the position-adaptive resync.
+type PositionBump struct {
+	// BumpMM is the step displacement; GainFactor the coupling-gain drop
+	// it causes (inside the gain-step detector's blind band).
+	BumpMM     float64
+	GainFactor float64
+	TrueMisses int
+	// Clean* profile the same capture without the bump.
+	CleanMisses, CleanRefresh int
+	CleanLongestRefreshUs     float64
+	// Base* is the default profiler on the bumped capture, Adapt* the
+	// ProbeShiftRatio-armed one. The phantom-stall cascade shows up as
+	// LongestRefreshUs: unarmed, the post-bump busy level pins below the
+	// dip-exit threshold and one "refresh stall" smears over the whole
+	// remaining capture; armed, the worst refresh stays at the clean
+	// capture's scale and the loss is bounded by the resync window.
+	BaseMisses, BaseRefresh   int
+	BaseLongestRefreshUs      float64
+	AdaptMisses, AdaptRefresh int
+	AdaptLongestRefreshUs     float64
+	AdaptResyncs              int
+}
+
+// longestRefreshUs returns the longest refresh-classified stall in µs.
+func longestRefreshUs(p *core.Profile) float64 {
+	worst := 0.0
+	for _, s := range p.Stalls {
+		if s.Refresh && s.DurationS > worst {
+			worst = s.DurationS
+		}
+	}
+	return worst * 1e6
+}
+
+// RunPosition profiles the microbenchmark across probe displacements and
+// under a mid-capture probe bump.
+func RunPosition(o Options) (*Position, error) {
+	o = o.withDefaults()
+	tm, cm := 256, 8
+	offsets := []float64{0, 0.5, 1, 1.5, 2, 3, 4}
+	if o.Quick {
+		tm = 128
+		offsets = []float64{0, 1, 2, 4}
+	}
+	dev := device.Olimex()
+	wl := fmt.Sprintf("micro:%d:%d", tm, cm)
+
+	grid := emprof.SweepGrid{
+		Devices:        []string{dev.Name},
+		Workloads:      []string{wl},
+		Seeds:          []uint64{o.Seed},
+		ProbeOffsetsMM: offsets,
+	}
+	results, err := emprof.RunSweep(context.Background(), grid.Jobs(), emprof.SweepOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Position{Device: dev.Name, Workload: wl, TrueMisses: tm}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("experiments: position cell %+v: %w", r.Job.Probe, r.Err)
+		}
+		res.Rows = append(res.Rows, PositionRow{
+			OffsetMM:  r.Job.Probe.OffsetMM(),
+			Gain:      em.PositionGain(r.Job.Probe.OffsetMM()),
+			Detected:  r.Profile.Misses,
+			ErrPct:    100 * float64(r.Profile.Misses-tm) / float64(tm),
+			MeanConf:  r.Profile.MeanConfidence(),
+			UsablePct: 100 * r.Profile.Quality.UsableFraction(),
+		})
+	}
+
+	bump, err := runPositionBump(dev, tm, cm, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Bump = bump
+	return res, nil
+}
+
+// runPositionBump injects a mid-capture probe bump sized to land inside
+// the gain-step detector's blind band (coupling drop ~2.35×, below the
+// 2.5× step ratio) and compares the default and position-adaptive
+// profiler configurations on the identical impaired capture.
+func runPositionBump(dev device.Device, tm, cm int, seed uint64) (*PositionBump, error) {
+	mp := workloads.DefaultMicroParams(tm, cm)
+	_, slice, err := simulateMicro(dev, mp, emprof.CaptureOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	const bumpMM = 1.75
+	spec := faults.Spec{
+		ProbeBumpMM:  bumpMM,
+		ProbeBumpAtS: slice.Duration() / 2,
+		Seed:         seed,
+	}
+	impaired, _, err := faults.Apply(slice, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	clean := analyze(slice)
+	base := analyze(impaired)
+	adaptCfg := core.DefaultConfig()
+	adaptCfg.ProbeShiftRatio = 1.4
+	adapt := core.MustNewAnalyzer(adaptCfg).Profile(impaired)
+
+	return &PositionBump{
+		BumpMM:                bumpMM,
+		GainFactor:            em.PositionGain(bumpMM),
+		TrueMisses:            tm,
+		CleanMisses:           clean.Misses,
+		CleanRefresh:          clean.RefreshStalls,
+		CleanLongestRefreshUs: longestRefreshUs(clean),
+		BaseMisses:            base.Misses,
+		BaseRefresh:           base.RefreshStalls,
+		BaseLongestRefreshUs:  longestRefreshUs(base),
+		AdaptMisses:           adapt.Misses,
+		AdaptRefresh:          adapt.RefreshStalls,
+		AdaptLongestRefreshUs: longestRefreshUs(adapt),
+		AdaptResyncs:          adapt.Quality.Resyncs,
+	}, nil
+}
+
+// Render writes the grid and the bump comparison as tables.
+func (p *Position) Render(w io.Writer) {
+	fmt.Fprintf(w, "miss detection vs probe displacement (%s, %s, engineered misses: %d):\n",
+		p.Device, p.Workload, p.TrueMisses)
+	fmt.Fprintf(w, "  %-10s %6s %9s %8s %6s %8s\n",
+		"offset", "gain", "detected", "err", "conf", "usable")
+	for _, row := range p.Rows {
+		fmt.Fprintf(w, "  %7.1f mm %6.3f %9d %7.1f%% %6.2f %7.2f%%\n",
+			row.OffsetMM, row.Gain, row.Detected, row.ErrPct, row.MeanConf, row.UsablePct)
+	}
+	fmt.Fprintln(w, "  coupling gain falls off as a near-field dipole; detection degrades as")
+	fmt.Fprintln(w, "  dips blur and leak toward the chip-wide mean, not as a cliff.")
+	if p.Bump == nil {
+		return
+	}
+	fmt.Fprintf(w, "mid-capture probe bump (%.2f mm step, coupling ×%.2f at half-run):\n",
+		p.Bump.BumpMM, p.Bump.GainFactor)
+	fmt.Fprintf(w, "  %-24s %8s %9s %16s\n", "profiler", "misses", "refresh", "worst refresh")
+	fmt.Fprintf(w, "  %-24s %8d %9d %13.3gus\n",
+		"clean (no bump)", p.Bump.CleanMisses, p.Bump.CleanRefresh, p.Bump.CleanLongestRefreshUs)
+	fmt.Fprintf(w, "  %-24s %8d %9d %13.3gus\n",
+		"default", p.Bump.BaseMisses, p.Bump.BaseRefresh, p.Bump.BaseLongestRefreshUs)
+	fmt.Fprintf(w, "  %-24s %8d %9d %13.3gus   (%d resync)\n",
+		"position-adaptive (1.4)", p.Bump.AdaptMisses, p.Bump.AdaptRefresh,
+		p.Bump.AdaptLongestRefreshUs, p.Bump.AdaptResyncs)
+	fmt.Fprintln(w, "  unarmed, the post-bump busy level pins under the dip-exit threshold and")
+	fmt.Fprintln(w, "  one phantom refresh stall smears across the remaining capture; armed,")
+	fmt.Fprintln(w, "  the shift detector trades it for one resync bounded by a half-window.")
+}

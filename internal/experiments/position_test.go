@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPositionQuick is the acceptance test for the probe-displacement
+// experiment: near-exact detection at the reference placement, graceful
+// (not cliff-like) degradation with displacement, and — under the
+// mid-capture bump — the position-adaptive profiler bounding the phantom
+// refresh smear the default profiler suffers.
+func TestPositionQuick(t *testing.T) {
+	r, err := RunPosition(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 3 {
+		t.Fatalf("grid rows = %d, want >= 3", len(r.Rows))
+	}
+	if r.Rows[0].OffsetMM != 0 {
+		t.Fatalf("first row offset = %v, want reference placement", r.Rows[0].OffsetMM)
+	}
+	if math.Abs(r.Rows[0].ErrPct) > 5 {
+		t.Errorf("reference placement: detected %d vs engineered %d (%.1f%%)",
+			r.Rows[0].Detected, r.TrueMisses, r.Rows[0].ErrPct)
+	}
+	for i, row := range r.Rows {
+		if i == 0 {
+			continue
+		}
+		prev := r.Rows[i-1]
+		if row.OffsetMM <= prev.OffsetMM {
+			t.Errorf("offsets not increasing: %.2f after %.2f", row.OffsetMM, prev.OffsetMM)
+		}
+		if row.Gain >= prev.Gain {
+			t.Errorf("coupling gain %.3f at %.1f mm did not fall from %.3f",
+				row.Gain, row.OffsetMM, prev.Gain)
+		}
+		if math.Abs(row.ErrPct) < math.Abs(prev.ErrPct)-1e-9 {
+			t.Errorf("miss-count error |%.1f%%| at %.1f mm improved on |%.1f%%| at %.1f mm",
+				row.ErrPct, row.OffsetMM, prev.ErrPct, prev.OffsetMM)
+		}
+	}
+
+	b := r.Bump
+	if b == nil {
+		t.Fatal("no bump comparison")
+	}
+	// The bump is sized to sit in the gain-step detector's blind band, so
+	// the default profiler's worst refresh stall smears far past the clean
+	// capture's scale while the adaptive profiler resyncs and stays there.
+	if b.BaseLongestRefreshUs < 10*b.CleanLongestRefreshUs {
+		t.Errorf("default profiler worst refresh %.3gus does not show the phantom smear (clean %.3gus)",
+			b.BaseLongestRefreshUs, b.CleanLongestRefreshUs)
+	}
+	if b.AdaptLongestRefreshUs > 2*b.CleanLongestRefreshUs {
+		t.Errorf("adaptive profiler worst refresh %.3gus exceeds 2x the clean capture's %.3gus",
+			b.AdaptLongestRefreshUs, b.CleanLongestRefreshUs)
+	}
+	if b.AdaptResyncs < 1 {
+		t.Error("adaptive profiler recorded no probe-shift resync")
+	}
+	// Misses lost to the bump must be bounded: the adaptive profiler
+	// sacrifices at most the resync window, not the whole post-bump tail.
+	if b.AdaptMisses <= b.BaseMisses {
+		t.Errorf("adaptive misses %d not above default's %d", b.AdaptMisses, b.BaseMisses)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"probe displacement", "probe bump", "position-adaptive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q", want)
+		}
+	}
+}

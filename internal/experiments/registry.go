@@ -39,6 +39,7 @@ var Registry = map[string]Runner{
 	// perf variance, and miss-count accuracy under acquisition faults.
 	"stability":  wrap(RunStability),
 	"robustness": wrap(RunRobustness),
+	"position":   wrap(RunPosition),
 }
 
 // Names returns the registry keys in sorted order.

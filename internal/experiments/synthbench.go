@@ -227,6 +227,34 @@ func synthCases(quick bool) ([]synthCase, error) {
 				}
 			},
 		},
+		{
+			// The probe-displacement axis: the same microbenchmark swept
+			// across four placements through RunSweep, covering the spatial
+			// coupling stage and the sweep pool in one number.
+			name:    "position-sweep",
+			cycles:  4 * dry.Truth.Cycles,
+			samples: 4 * uint64(len(dry.Capture.Samples)),
+			body: func(b *testing.B) {
+				grid := emprof.SweepGrid{
+					Devices:        []string{"olimex"},
+					Workloads:      []string{"micro:128:8"},
+					Seeds:          []uint64{1},
+					ProbeOffsetsMM: []float64{0, 1, 2, 4},
+				}
+				jobs := grid.Jobs()
+				for i := 0; i < b.N; i++ {
+					res, err := emprof.RunSweep(context.Background(), jobs, emprof.SweepOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range res {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			},
+		},
 	}
 	return cases, nil
 }

@@ -11,12 +11,18 @@
 //  2. slow probe-coupling drift, an Ornstein–Uhlenbeck gain process —
 //     rougher than internal/em's sinusoidal supply drift, standing in for
 //     a probe physically moving relative to the device;
-//  3. impulsive RF bursts (nearby transmitters, motor ignition) added at
+//  3. probe-position faults: slow positional drift (an OU process on the
+//     probe's lateral offset in millimetres, e.g. a slipping fixture) and
+//     a probe bump (a step displacement at a set time). Both modulate the
+//     capture's gain along the shared displacement→gain curve
+//     em.PositionGain, so a 1.5 mm bump costs exactly what a capture
+//     synthesized 1.5 mm off the sweet spot loses in amplitude;
+//  4. impulsive RF bursts (nearby transmitters, motor ignition) added at
 //     a multiple of the local signal level;
-//  4. ADC saturation: magnitudes clamped to a fixed ceiling;
-//  5. sample dropouts: the digitizer loses runs of samples, which appear
+//  5. ADC saturation: magnitudes clamped to a fixed ceiling;
+//  6. sample dropouts: the digitizer loses runs of samples, which appear
 //     zero-filled in the record;
-//  6. outright corruption: samples replaced by NaN (transfer errors).
+//  7. outright corruption: samples replaced by NaN (transfer errors).
 //
 // Injection never mutates the input capture: Apply clones first (see
 // em.Capture.Clone). The Injector form processes one sample at a time and
@@ -59,6 +65,22 @@ type Spec struct {
 	DriftDepth float64
 	DriftTauS  float64
 
+	// ProbeDriftMM, when > 0, enables slow positional probe drift: an
+	// Ornstein–Uhlenbeck process on the probe's lateral offset with
+	// stationary deviation about ProbeDriftMM/2 mm and correlation time
+	// ProbeDriftTauS seconds (default 50 ms — fixtures slip slower than
+	// coupling flutters), clamped to ±ProbeDriftMM. The offset modulates
+	// gain along em.PositionGain.
+	ProbeDriftMM   float64
+	ProbeDriftTauS float64
+
+	// ProbeBumpMM, when non-zero, displaces the probe by that many
+	// millimetres in one step at ProbeBumpAtS seconds into the capture
+	// (the fixture was knocked). The displacement persists to the end of
+	// the record and stacks with any positional drift.
+	ProbeBumpMM  float64
+	ProbeBumpAtS float64
+
 	// BurstRate is the expected fraction of samples hit by impulsive RF
 	// bursts, BurstMeanLen the mean burst length in samples (default 3),
 	// and BurstAmp the burst amplitude as a multiple of the running
@@ -88,6 +110,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.DriftTauS <= 0 {
 		s.DriftTauS = 10e-3
+	}
+	if s.ProbeDriftTauS <= 0 {
+		s.ProbeDriftTauS = 50e-3
 	}
 	if s.BurstMeanLen <= 0 {
 		s.BurstMeanLen = 3
@@ -119,6 +144,18 @@ func (s Spec) Validate() error {
 	if d.DriftDepth < 0 || d.DriftDepth >= 1 {
 		return fmt.Errorf("faults: drift depth %v out of [0, 1)", d.DriftDepth)
 	}
+	if d.ProbeDriftMM < 0 || math.IsNaN(d.ProbeDriftMM) || math.IsInf(d.ProbeDriftMM, 0) {
+		return fmt.Errorf("faults: probe drift %v mm invalid (need finite >= 0)", d.ProbeDriftMM)
+	}
+	if math.IsNaN(d.ProbeBumpMM) || math.IsInf(d.ProbeBumpMM, 0) {
+		return fmt.Errorf("faults: probe bump %v mm not finite", d.ProbeBumpMM)
+	}
+	if d.ProbeBumpAtS < 0 || math.IsNaN(d.ProbeBumpAtS) {
+		return fmt.Errorf("faults: probe bump time %v s < 0", d.ProbeBumpAtS)
+	}
+	if worst := d.ProbeDriftMM + math.Abs(d.ProbeBumpMM); worst > 100 {
+		return fmt.Errorf("faults: worst-case probe offset %.1f mm out of range (near field is gone past 100 mm)", worst)
+	}
 	if d.BurstRate < 0 || d.BurstRate >= 1 {
 		return fmt.Errorf("faults: burst rate %v out of [0, 1)", d.BurstRate)
 	}
@@ -134,20 +171,24 @@ func (s Spec) Validate() error {
 // Enabled reports whether the spec injects anything at all.
 func (s Spec) Enabled() bool {
 	return s.DropoutRate > 0 || s.ClipLevel > 0 || s.GainStepsPerS > 0 ||
-		s.DriftDepth > 0 || s.BurstRate > 0 || s.NaNRate > 0
+		s.DriftDepth > 0 || s.ProbeDriftMM > 0 || s.ProbeBumpMM != 0 ||
+		s.BurstRate > 0 || s.NaNRate > 0
 }
 
 // EventKind labels one injected impairment event.
 type EventKind string
 
 const (
-	EventDropout  EventKind = "dropout"
-	EventGainStep EventKind = "gain-step"
-	EventBurst    EventKind = "burst"
+	EventDropout   EventKind = "dropout"
+	EventGainStep  EventKind = "gain-step"
+	EventBurst     EventKind = "burst"
+	EventProbeBump EventKind = "probe-bump"
 )
 
 // Event records one injected impairment: a sample range [Start, End) and,
-// for gain steps, the multiplicative factor applied from Start onwards.
+// for gain steps and probe bumps, the multiplicative factor applied from
+// Start onwards (for a bump, the ratio of coupling gain after/before the
+// displacement).
 type Event struct {
 	Kind       EventKind
 	Start, End int
@@ -167,12 +208,21 @@ type Report struct {
 	// FinalGain is the cumulative gain-step factor at the end of the run
 	// (1 when no step fired).
 	FinalGain float64
+	// FinalProbeOffsetMM and MaxProbeOffsetMM record the probe's lateral
+	// displacement (drift + bump, signed final / absolute max) when the
+	// positional faults are enabled; both are 0 otherwise.
+	FinalProbeOffsetMM float64
+	MaxProbeOffsetMM   float64
 }
 
 // String summarises the report.
 func (r *Report) String() string {
-	return fmt.Sprintf("%d events (%d dropped, %d clipped, %d burst, %d NaN samples; final gain %.3g)",
+	s := fmt.Sprintf("%d events (%d dropped, %d clipped, %d burst, %d NaN samples; final gain %.3g)",
 		len(r.Events), r.DroppedSamples, r.ClippedSamples, r.BurstSamples, r.CorruptSamples, r.FinalGain)
+	if r.MaxProbeOffsetMM > 0 {
+		s += fmt.Sprintf(" (probe offset final %.2f mm, max %.2f mm)", r.FinalProbeOffsetMM, r.MaxProbeOffsetMM)
+	}
+	return s
 }
 
 // Injector applies a Spec to a sample stream, one magnitude at a time.
@@ -190,6 +240,16 @@ type Injector struct {
 	drift      float64
 	driftDecay float64
 	driftSigma float64
+
+	// probe-position state: OU positional drift (mm), the pending bump,
+	// and the cached coupling gain at the current total offset
+	probeOff   float64
+	probeDecay float64
+	probeSigma float64
+	bumpOff    float64
+	bumpAt     int
+	bumpArmed  bool
+	posGain    float64
 
 	// running signal-level EMA (post-gain), scales burst amplitude
 	level     float64
@@ -233,6 +293,20 @@ func NewInjector(spec Spec, sampleRate float64) (*Injector, error) {
 		// Stationary std DriftDepth/2 for the discretised OU process.
 		inj.driftSigma = (s.DriftDepth / 2) * math.Sqrt(2/tau)
 	}
+	inj.posGain = 1
+	if s.ProbeDriftMM > 0 {
+		tau := s.ProbeDriftTauS * sampleRate
+		if tau < 1 {
+			tau = 1
+		}
+		inj.probeDecay = 1 / tau
+		// Stationary std ProbeDriftMM/2, same discipline as DriftDepth.
+		inj.probeSigma = (s.ProbeDriftMM / 2) * math.Sqrt(2/tau)
+	}
+	if s.ProbeBumpMM != 0 {
+		inj.bumpAt = int(s.ProbeBumpAtS * sampleRate)
+		inj.bumpArmed = true
+	}
 	return inj, nil
 }
 
@@ -263,6 +337,39 @@ func (inj *Injector) Process(x float64) float64 {
 		}
 		g *= 1 + inj.drift
 	}
+
+	// 3. Probe position: positional OU drift plus a one-time bump, both
+	// attenuating the sample along the shared displacement→gain curve.
+	if inj.probeSigma > 0 || inj.bumpArmed || inj.bumpOff != 0 {
+		moved := false
+		if inj.probeSigma > 0 {
+			inj.probeOff += -inj.probeDecay*inj.probeOff + inj.probeSigma*inj.rng.NormFloat64()
+			if d := inj.spec.ProbeDriftMM; inj.probeOff > d {
+				inj.probeOff = d
+			} else if inj.probeOff < -d {
+				inj.probeOff = -d
+			}
+			moved = true
+		}
+		if inj.bumpArmed && i >= inj.bumpAt {
+			inj.bumpArmed = false
+			before := em.PositionGain(math.Abs(inj.probeOff))
+			inj.bumpOff = inj.spec.ProbeBumpMM
+			after := em.PositionGain(math.Abs(inj.probeOff + inj.bumpOff))
+			inj.rep.Events = append(inj.rep.Events,
+				Event{Kind: EventProbeBump, Start: i, End: i, Factor: after / before})
+			moved = true
+		}
+		if moved {
+			off := inj.probeOff + inj.bumpOff
+			inj.posGain = em.PositionGain(math.Abs(off))
+			inj.rep.FinalProbeOffsetMM = off
+			if a := math.Abs(off); a > inj.rep.MaxProbeOffsetMM {
+				inj.rep.MaxProbeOffsetMM = a
+			}
+		}
+		g *= inj.posGain
+	}
 	x *= g
 
 	// Running level estimate for burst scaling (finite samples only).
@@ -274,7 +381,7 @@ func (inj *Injector) Process(x float64) float64 {
 		}
 	}
 
-	// 3. Impulsive RF burst.
+	// 4. Impulsive RF burst.
 	if inj.burstLeft > 0 {
 		inj.burstLeft--
 		x += inj.spec.BurstAmp * inj.level * (0.5 + math.Abs(inj.rng.NormFloat64()))
@@ -287,13 +394,13 @@ func (inj *Injector) Process(x float64) float64 {
 		inj.rep.Events = append(inj.rep.Events, Event{Kind: EventBurst, Start: i, End: i + 1})
 	}
 
-	// 4. ADC saturation.
+	// 5. ADC saturation.
 	if lv := inj.spec.ClipLevel; lv > 0 && x > lv {
 		x = lv
 		inj.rep.ClippedSamples++
 	}
 
-	// 5. Digitizer dropout (zero-filled).
+	// 6. Digitizer dropout (zero-filled).
 	if inj.dropLeft > 0 {
 		inj.dropLeft--
 		inj.rep.DroppedSamples++
@@ -307,7 +414,7 @@ func (inj *Injector) Process(x float64) float64 {
 		return 0
 	}
 
-	// 6. Corruption.
+	// 7. Corruption.
 	if inj.pNaN > 0 && inj.rng.Float64() < inj.pNaN {
 		inj.rep.CorruptSamples++
 		return math.NaN()
@@ -329,11 +436,13 @@ func (inj *Injector) ProcessBlock(in, out []float64) []float64 {
 		out = make([]float64, n)
 	}
 	out = out[:n]
-	if inj.pStep == 0 && inj.driftSigma == 0 && inj.burstLeft == 0 && inj.pBurst == 0 &&
+	if inj.pStep == 0 && inj.driftSigma == 0 && inj.probeSigma == 0 && !inj.bumpArmed &&
+		inj.burstLeft == 0 && inj.pBurst == 0 &&
 		inj.dropLeft == 0 && inj.pDrop == 0 && inj.pNaN == 0 && inj.spec.ClipLevel == 0 {
 		// The level tracker is unobservable with bursts disabled, so it
-		// need not advance here.
-		g := inj.gain
+		// need not advance here. A fired probe bump is a constant offset,
+		// so its coupling gain folds into the static multiply.
+		g := inj.gain * inj.posGain
 		for i, x := range in {
 			out[i] = x * g
 		}

@@ -229,6 +229,64 @@ func TestDriftBounded(t *testing.T) {
 	}
 }
 
+func TestProbeBump(t *testing.T) {
+	c := testCapture(50000, 13)
+	// 40 MS/s → the 0.5 ms bump lands at sample 20000.
+	out, rep, err := Apply(c, Spec{ProbeBumpMM: 1.5, ProbeBumpAtS: 0.5e-3, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGain := em.PositionGain(1.5)
+	for i, x := range out.Samples {
+		want := c.Samples[i]
+		if i >= 20000 {
+			want *= wantGain
+		}
+		if math.Abs(x-want) > 1e-12*want {
+			t.Fatalf("sample %d: %v, want %v", i, x, want)
+		}
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Kind != EventProbeBump || rep.Events[0].Start != 20000 {
+		t.Fatalf("events %+v, want one probe-bump at 20000", rep.Events)
+	}
+	if f := rep.Events[0].Factor; math.Abs(f-wantGain) > 1e-12 {
+		t.Fatalf("bump factor %v, want %v", f, wantGain)
+	}
+	if rep.FinalProbeOffsetMM != 1.5 || rep.MaxProbeOffsetMM != 1.5 {
+		t.Fatalf("report offsets %v/%v, want 1.5/1.5", rep.FinalProbeOffsetMM, rep.MaxProbeOffsetMM)
+	}
+}
+
+func TestProbeDriftBounded(t *testing.T) {
+	c := testCapture(200000, 15)
+	out, rep, err := Apply(c, Spec{ProbeDriftMM: 1.2, ProbeDriftTauS: 1e-3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The offset is clamped to ±ProbeDriftMM, so the gain never falls
+	// below the coupling at the full excursion and never exceeds 1.
+	floor := em.PositionGain(1.2)
+	moved := false
+	for i, x := range out.Samples {
+		ratio := x / c.Samples[i]
+		if ratio < floor-1e-12 || ratio > 1+1e-12 {
+			t.Fatalf("sample %d gain ratio %v outside [%v, 1]", i, ratio, floor)
+		}
+		if ratio < 0.95 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("positional drift never attenuated the capture by 5%")
+	}
+	if rep.MaxProbeOffsetMM <= 0 || rep.MaxProbeOffsetMM > 1.2 {
+		t.Fatalf("max probe offset %v outside (0, 1.2]", rep.MaxProbeOffsetMM)
+	}
+	if math.Abs(rep.FinalProbeOffsetMM) > rep.MaxProbeOffsetMM {
+		t.Fatalf("final offset %v beyond max %v", rep.FinalProbeOffsetMM, rep.MaxProbeOffsetMM)
+	}
+}
+
 func TestValidation(t *testing.T) {
 	bad := []Spec{
 		{DropoutRate: -0.1},
@@ -240,6 +298,11 @@ func TestValidation(t *testing.T) {
 		{GainStepsPerS: 1, GainStepMin: 4, GainStepMax: 2},
 		{DriftDepth: 1},
 		{DriftDepth: -0.1},
+		{ProbeDriftMM: -1},
+		{ProbeDriftMM: math.NaN()},
+		{ProbeBumpMM: math.Inf(1)},
+		{ProbeBumpMM: 1, ProbeBumpAtS: -1},
+		{ProbeDriftMM: 60, ProbeBumpMM: 50},
 		{BurstRate: 1},
 		{NaNRate: 1},
 	}
@@ -266,6 +329,11 @@ func TestProcessBlockMatchesProcess(t *testing.T) {
 		{},
 		{GainStepsPerS: 500, Seed: 3},
 		{DropoutRate: 0.01, DropoutMeanLen: 8, Seed: 4},
+		// A bump alone exercises the fast-path gate: scalar while the bump
+		// is armed, vectorized again (with the folded coupling gain) once
+		// it has fired.
+		{ProbeBumpMM: 2, ProbeBumpAtS: 0.18e-3, Seed: 5},
+		{ProbeDriftMM: 0.8, ProbeDriftTauS: 0.1e-3, ProbeBumpMM: 1, ProbeBumpAtS: 0.1e-3, Seed: 6},
 		{
 			DropoutRate:   0.01,
 			ClipLevel:     1.1,
@@ -318,7 +386,9 @@ func TestProcessBlockMatchesProcess(t *testing.T) {
 		ra, rb := ref.Report(), inj.Report()
 		if ra.DroppedSamples != rb.DroppedSamples || ra.BurstSamples != rb.BurstSamples ||
 			ra.ClippedSamples != rb.ClippedSamples || ra.CorruptSamples != rb.CorruptSamples ||
-			ra.FinalGain != rb.FinalGain || len(ra.Events) != len(rb.Events) {
+			ra.FinalGain != rb.FinalGain || len(ra.Events) != len(rb.Events) ||
+			ra.FinalProbeOffsetMM != rb.FinalProbeOffsetMM ||
+			ra.MaxProbeOffsetMM != rb.MaxProbeOffsetMM {
 			t.Fatalf("spec %d: reports diverge: %+v vs %+v", si, ra, rb)
 		}
 	}

@@ -104,6 +104,10 @@ const (
 	// ResyncGainStep: a sustained receiver gain discontinuity was
 	// confirmed.
 	ResyncGainStep ResyncCause = "gain-step"
+	// ResyncProbeShift: the opt-in probe-shift detector (see the core
+	// config's ProbeShiftRatio) confirmed a sustained level shift smaller
+	// than a gain step — typically the probe moving mid-capture.
+	ResyncProbeShift ResyncCause = "probe_shift"
 )
 
 // Stage labels one pipeline stage in a StageTiming event.

@@ -36,6 +36,14 @@ type CaptureOptions struct {
 	// per-cycle). The recorded signals are bit-identical for every batch
 	// size; larger batches only amortise the simulator→receiver boundary.
 	BatchCycles int
+	// Probe places the processor probe relative to the best-coupling
+	// reference point (see ProbePosition). The zero value is the reference
+	// placement and leaves the capture bit-identical to a run that
+	// predates the spatial model; displaced probes lose amplitude, SNR
+	// and envelope bandwidth per em.CouplingAt. The memory probe (with
+	// MemoryProbe) is mounted independently and always stays at its own
+	// reference point.
+	Probe ProbePosition
 }
 
 // Run is the outcome of one simulated acquisition.
@@ -83,6 +91,7 @@ func Simulate(dev Device, w Workload, opts CaptureOptions) (*Run, error) {
 		SNRdB:        dev.EM.SNRdB,
 		DriftPeriodS: dev.EM.DriftPeriodS,
 		DriftDepth:   dev.EM.DriftDepth,
+		Position:     opts.Probe,
 		Seed:         opts.Seed,
 	}
 	if opts.NoiseFree {
@@ -150,8 +159,10 @@ func synthesizeMemoryProbe(dev Device, ms *mem.System, cycles uint64, rxCfg em.R
 	memCfg := rxCfg
 	memCfg.Seed = rxCfg.Seed ^ 0xface
 	// The memory probe couples to I/O pin toggling; model a comparable
-	// but distinct gain.
+	// but distinct gain. It is mounted on its own fixture over the SDRAM,
+	// so a displaced processor probe must not displace it.
 	memCfg.ProbeGain = rxCfg.ProbeGain * 0.9
+	memCfg.Position = em.ProbePosition{}
 	return em.SynthesizeFromSeries(series, d, memCfg)
 }
 

@@ -28,6 +28,9 @@ type SweepJob struct {
 	// default), and NoiseFree disables probe noise and supply drift.
 	BandwidthHz float64
 	NoiseFree   bool
+	// Probe displaces the processor probe from the reference placement
+	// for this cell (the zero value is the reference).
+	Probe ProbePosition
 	// Faults, when enabled, impairs the capture before analysis. The
 	// spec's Seed is remixed with the job's coordinates so every cell sees
 	// distinct but reproducible fault patterns.
@@ -41,8 +44,12 @@ type SweepGrid struct {
 	Workloads    []string
 	Seeds        []uint64
 	BandwidthsHz []float64
-	ScaleM       float64
-	NoiseFree    bool
+	// ProbeOffsetsMM adds a probe-displacement dimension (innermost): each
+	// offset places the probe that many millimetres from the reference
+	// along the x axis. Empty means the reference placement only.
+	ProbeOffsetsMM []float64
+	ScaleM         float64
+	NoiseFree      bool
 	// Faults applies the same impairment template to every job (each with
 	// a deterministically remixed seed); the zero value disables it.
 	Faults FaultSpec
@@ -68,17 +75,24 @@ func (g SweepGrid) Jobs() []SweepJob {
 	if len(bg.Seeds) == 0 {
 		bg.Seeds = []uint64{1}
 	}
+	offsets := g.ProbeOffsetsMM
+	if len(offsets) == 0 {
+		offsets = []float64{0}
+	}
 	pts := bg.Points()
-	jobs := make([]SweepJob, len(pts))
-	for i, p := range pts {
-		jobs[i] = SweepJob{
-			Device:      p.Device,
-			Workload:    p.Workload,
-			ScaleM:      g.ScaleM,
-			Seed:        p.Seed,
-			BandwidthHz: p.BandwidthHz,
-			NoiseFree:   g.NoiseFree,
-			Faults:      g.Faults,
+	jobs := make([]SweepJob, 0, len(pts)*len(offsets))
+	for _, p := range pts {
+		for _, off := range offsets {
+			jobs = append(jobs, SweepJob{
+				Device:      p.Device,
+				Workload:    p.Workload,
+				ScaleM:      g.ScaleM,
+				Seed:        p.Seed,
+				BandwidthHz: p.BandwidthHz,
+				NoiseFree:   g.NoiseFree,
+				Probe:       ProbePosition{XMM: off},
+				Faults:      g.Faults,
+			})
 		}
 	}
 	return jobs
@@ -173,6 +187,7 @@ func runSweepJob(ctx context.Context, job SweepJob, cfg Config) (SweepResult, er
 		Seed:        job.Seed,
 		BandwidthHz: job.BandwidthHz,
 		NoiseFree:   job.NoiseFree,
+		Probe:       job.Probe,
 	})
 	if err != nil {
 		return res, err
