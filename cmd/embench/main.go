@@ -40,11 +40,14 @@ func realMain() int {
 		quick = flag.Bool("quick", false, "shrunken grids for a fast smoke run")
 		ver   = flag.Bool("version", false, "print version and exit")
 
-		benchSynth = flag.Bool("bench-synthesis", false, "run the synthesis pipeline benchmarks")
-		benchCount = flag.Int("bench-count", 3, "benchmark repetitions per case (best run is reported)")
-		benchOut   = flag.String("bench-out", "", "write benchmark results as JSON to this file")
-		benchCheck = flag.String("bench-check", "", "compare results against this baseline JSON; exit non-zero on >2x ns/cycle regression")
-		benchGuard = flag.Bool("bench-observer-guard", false, "verify the trace layer's nil-observer fast path: 0 allocs/op steady state and <3% ns/cycle observer overhead")
+		benchSynth      = flag.Bool("bench-synthesis", false, "run the synthesis pipeline benchmarks")
+		benchCount      = flag.Int("bench-count", 3, "benchmark repetitions per case (best run is reported)")
+		benchOut        = flag.String("bench-out", "", "write benchmark results as JSON to this file")
+		benchCheck      = flag.String("bench-check", "", "compare results against this baseline JSON; exit non-zero on regression")
+		benchMaxRatio   = flag.Float64("bench-max-ratio", 0, "allowed ns/cycle ratio over baseline before failing (0 = default 1.3)")
+		benchNoiseFloor = flag.Float64("bench-noise-floor", 0, "absolute ns/cycle slack on top of the ratio (0 = default 0.5, negative disables)")
+		benchAllocRatio = flag.Float64("bench-alloc-ratio", 0, "allowed allocs/op ratio over baseline (0 = default 1.25, negative disables the alloc gate)")
+		benchGuard      = flag.Bool("bench-observer-guard", false, "verify the trace layer's nil-observer fast path: 0 allocs/op steady state and <3% ns/cycle observer overhead")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -86,7 +89,12 @@ func realMain() int {
 	}
 
 	if *benchSynth {
-		if err := runSynthBench(*benchCount, *quick, *benchOut, *benchCheck); err != nil {
+		gate := experiments.GateOptions{
+			MaxRatio:             *benchMaxRatio,
+			NoiseFloorNsPerCycle: *benchNoiseFloor,
+			MaxAllocRatio:        *benchAllocRatio,
+		}
+		if err := runSynthBench(*benchCount, *quick, *benchOut, *benchCheck, gate); err != nil {
 			fmt.Fprintf(os.Stderr, "embench: %v\n", err)
 			return 1
 		}
@@ -134,7 +142,7 @@ func realMain() int {
 
 // runSynthBench runs the benchmark set, optionally writes the JSON report,
 // and optionally gates it against a baseline.
-func runSynthBench(count int, quick bool, outPath, checkPath string) error {
+func runSynthBench(count int, quick bool, outPath, checkPath string, gate experiments.GateOptions) error {
 	rep, err := experiments.RunSynthBench(count, quick, os.Stdout)
 	if err != nil {
 		return err
@@ -150,7 +158,7 @@ func runSynthBench(count int, quick bool, outPath, checkPath string) error {
 		if err != nil {
 			return err
 		}
-		if err := experiments.CompareSynthBench(rep, base, 2.0, os.Stdout); err != nil {
+		if err := experiments.CompareSynthBench(rep, base, gate, os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println("benchmark check passed")

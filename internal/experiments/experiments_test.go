@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "perf", "stability",
-		"robustness", "position",
+		"robustness", "position", "simquick",
 	}
 	names := Names()
 	got := map[string]bool{}

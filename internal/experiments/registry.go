@@ -40,6 +40,9 @@ var Registry = map[string]Runner{
 	"stability":  wrap(RunStability),
 	"robustness": wrap(RunRobustness),
 	"position":   wrap(RunPosition),
+	// simquick verifies the event-driven simulator against its per-cycle
+	// reference, bitwise, on every device shape.
+	"simquick": wrap(RunSimQuick),
 }
 
 // Names returns the registry keys in sorted order.

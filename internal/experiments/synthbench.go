@@ -320,12 +320,61 @@ func LoadSynthBench(path string) (*SynthBenchReport, error) {
 	return &rep, nil
 }
 
-// CompareSynthBench gates the current run against a committed baseline:
-// any case whose ns/cycle exceeds the baseline by more than maxRatio
-// (CI uses 2.0, generous enough to absorb runner-speed variance) is a
-// regression. Cases present on only one side are reported but not fatal,
-// so the benchmark set can evolve.
-func CompareSynthBench(cur, base *SynthBenchReport, maxRatio float64, w io.Writer) error {
+// GateOptions configures the regression gate in CompareSynthBench. The
+// zero value picks the defaults noted per field, so callers only set what
+// they need to override.
+type GateOptions struct {
+	// MaxRatio is the allowed ns/cycle ratio over the baseline before a
+	// case counts as a time regression. Default 1.3 — tight enough to
+	// catch a real slowdown on a quiet machine; CI overrides it upward to
+	// absorb shared-runner speed variance.
+	MaxRatio float64
+	// NoiseFloorNsPerCycle is an absolute slack added on top of the
+	// ratio: a case only regresses when its ns/cycle exceeds
+	// baseline*MaxRatio + floor. Sub-nanosecond-per-cycle cases flip
+	// large ratios from timer granularity alone; the floor (default 0.5
+	// ns/cycle) keeps those from tripping the gate. Set negative to
+	// disable (treat as 0).
+	NoiseFloorNsPerCycle float64
+	// MaxAllocRatio gates allocs_per_op the same way ns/cycle is gated.
+	// Allocation counts are near-deterministic, so the default slack is
+	// smaller (1.25x); a hot-loop allocation regression multiplies the
+	// count by orders of magnitude (the bug this gate exists for turned
+	// ~100 allocs/op into ~220000). Set negative to disable the alloc
+	// gate entirely.
+	MaxAllocRatio float64
+	// AllocFloor is the absolute allocs_per_op slack (default 64), so
+	// single-digit baselines tolerate a few incidental allocations.
+	AllocFloor float64
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.MaxRatio == 0 {
+		o.MaxRatio = 1.3
+	}
+	if o.NoiseFloorNsPerCycle == 0 {
+		o.NoiseFloorNsPerCycle = 0.5
+	} else if o.NoiseFloorNsPerCycle < 0 {
+		o.NoiseFloorNsPerCycle = 0
+	}
+	if o.MaxAllocRatio == 0 {
+		o.MaxAllocRatio = 1.25
+	}
+	if o.AllocFloor == 0 {
+		o.AllocFloor = 64
+	} else if o.AllocFloor < 0 {
+		o.AllocFloor = 0
+	}
+	return o
+}
+
+// CompareSynthBench gates the current run against a committed baseline,
+// per GateOptions: a case regresses when its ns/cycle (or allocs/op)
+// exceeds the baseline by more than the configured ratio plus the
+// absolute noise floor. Cases present on only one side are reported but
+// not fatal, so the benchmark set can evolve.
+func CompareSynthBench(cur, base *SynthBenchReport, opts GateOptions, w io.Writer) error {
+	opts = opts.withDefaults()
 	baseByName := make(map[string]SynthBenchEntry, len(base.Entries))
 	for _, e := range base.Entries {
 		baseByName[e.Name] = e
@@ -342,14 +391,20 @@ func CompareSynthBench(cur, base *SynthBenchReport, maxRatio float64, w io.Write
 			ratio = e.NsPerCycle / b.NsPerCycle
 		}
 		status := "ok"
-		if ratio > maxRatio {
+		if e.NsPerCycle > b.NsPerCycle*opts.MaxRatio+opts.NoiseFloorNsPerCycle {
 			status = "REGRESSION"
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.3f ns/cycle vs baseline %.3f (%.2fx > %.2fx)",
-					e.Name, e.NsPerCycle, b.NsPerCycle, ratio, maxRatio))
+					e.Name, e.NsPerCycle, b.NsPerCycle, ratio, opts.MaxRatio))
 		}
-		fmt.Fprintf(w, "%-24s %.3f ns/cycle  baseline %.3f  (%.2fx)  %s\n",
-			e.Name, e.NsPerCycle, b.NsPerCycle, ratio, status)
+		if opts.MaxAllocRatio > 0 && e.AllocsPerOp > b.AllocsPerOp*opts.MaxAllocRatio+opts.AllocFloor {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f allocs/op vs baseline %.1f (> %.2fx + %.0f)",
+					e.Name, e.AllocsPerOp, b.AllocsPerOp, opts.MaxAllocRatio, opts.AllocFloor))
+		}
+		fmt.Fprintf(w, "%-24s %.3f ns/cycle  baseline %.3f  (%.2fx)  %.1f allocs/op (baseline %.1f)  %s\n",
+			e.Name, e.NsPerCycle, b.NsPerCycle, ratio, e.AllocsPerOp, b.AllocsPerOp, status)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("synthesis benchmark regressions:\n%s", joinLines(regressions))

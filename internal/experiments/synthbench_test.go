@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func gateReports(curNs, baseNs, curAllocs, baseAllocs float64) (*SynthBenchReport, *SynthBenchReport) {
+	cur := &SynthBenchReport{Entries: []SynthBenchEntry{
+		{Name: "case", NsPerCycle: curNs, AllocsPerOp: curAllocs},
+	}}
+	base := &SynthBenchReport{Entries: []SynthBenchEntry{
+		{Name: "case", NsPerCycle: baseNs, AllocsPerOp: baseAllocs},
+	}}
+	return cur, base
+}
+
+func TestGateDefaultsPassWithinRatio(t *testing.T) {
+	cur, base := gateReports(12.0, 10.0, 100, 100) // 1.2x < 1.3x
+	if err := CompareSynthBench(cur, base, GateOptions{}, io.Discard); err != nil {
+		t.Fatalf("1.2x flagged under default 1.3x gate: %v", err)
+	}
+}
+
+func TestGateDefaultsCatchTimeRegression(t *testing.T) {
+	cur, base := gateReports(15.0, 10.0, 100, 100) // 1.5x > 1.3x, above floor
+	err := CompareSynthBench(cur, base, GateOptions{}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "ns/cycle") {
+		t.Fatalf("1.5x not flagged: %v", err)
+	}
+}
+
+func TestGateNoiseFloorAbsorbsFastCases(t *testing.T) {
+	// 5x ratio, but both sides are deep in timer-noise territory: the
+	// absolute excess (0.4 ns/cycle) is under the default 0.5 floor.
+	cur, base := gateReports(0.5, 0.1, 10, 10)
+	if err := CompareSynthBench(cur, base, GateOptions{}, io.Discard); err != nil {
+		t.Fatalf("sub-floor case flagged: %v", err)
+	}
+	// Disabling the floor makes the same ratio fatal.
+	if err := CompareSynthBench(cur, base, GateOptions{NoiseFloorNsPerCycle: -1}, io.Discard); err == nil {
+		t.Fatal("floorless gate let a 5x ratio pass")
+	}
+}
+
+func TestGateCatchesAllocRegression(t *testing.T) {
+	// Time is fine; allocations exploded (the hot-loop map/batch bug).
+	cur, base := gateReports(10.0, 10.0, 220000, 110)
+	err := CompareSynthBench(cur, base, GateOptions{}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("alloc explosion not flagged: %v", err)
+	}
+	// A negative ratio disables the alloc gate.
+	if err := CompareSynthBench(cur, base, GateOptions{MaxAllocRatio: -1}, io.Discard); err != nil {
+		t.Fatalf("disabled alloc gate still failed: %v", err)
+	}
+}
+
+func TestGateAllocFloorAbsorbsSmallCounts(t *testing.T) {
+	// 4 -> 40 allocs/op is an 10x ratio but only 36 allocations — under
+	// the default absolute floor of 64.
+	cur, base := gateReports(10.0, 10.0, 40, 4)
+	if err := CompareSynthBench(cur, base, GateOptions{}, io.Discard); err != nil {
+		t.Fatalf("small-count alloc jitter flagged: %v", err)
+	}
+}
+
+func TestGateCustomRatio(t *testing.T) {
+	cur, base := gateReports(17.0, 10.0, 100, 100)
+	if err := CompareSynthBench(cur, base, GateOptions{MaxRatio: 1.8}, io.Discard); err != nil {
+		t.Fatalf("1.7x flagged under 1.8x gate: %v", err)
+	}
+	if err := CompareSynthBench(cur, base, GateOptions{MaxRatio: 1.5}, io.Discard); err == nil {
+		t.Fatal("1.7x passed under 1.5x gate")
+	}
+}
+
+func TestSimQuickQuick(t *testing.T) {
+	res, err := RunSimQuick(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 3 {
+		t.Fatalf("simquick covered %d shapes, want 3", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if c.Cycles == 0 || c.Samples == 0 || c.Stalls == 0 {
+			t.Fatalf("degenerate simquick case %+v", c)
+		}
+	}
+}
+
+func TestGateNewCaseNotFatal(t *testing.T) {
+	cur := &SynthBenchReport{Entries: []SynthBenchEntry{{Name: "brand-new", NsPerCycle: 99}}}
+	base := &SynthBenchReport{}
+	if err := CompareSynthBench(cur, base, GateOptions{}, io.Discard); err != nil {
+		t.Fatalf("new case without baseline must not fail the gate: %v", err)
+	}
+}

@@ -99,12 +99,17 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// Cache is one set-associative cache level.
+// Cache is one set-associative cache level. Lines are stored in one flat
+// set-major array (set s occupies lines[s*ways : (s+1)*ways]); set and tag
+// extraction are pure shift/mask with all shift amounts precomputed, so a
+// probe costs no division, map lookup or pointer chase.
 type Cache struct {
 	cfg       Config
 	lineShift uint
+	setShift  uint
 	setMask   uint64
-	sets      [][]line
+	ways      int
+	lines     []line
 	clock     uint64
 	rng       *sim.RNG
 	stats     Stats
@@ -120,16 +125,13 @@ func New(cfg Config, rng *sim.RNG) (*Cache, error) {
 		return nil, fmt.Errorf("cache %s: random policy requires an RNG", cfg.Name)
 	}
 	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
-	sets := make([][]line, numSets)
-	backing := make([]line, numSets*cfg.Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
 	return &Cache{
 		cfg:       cfg,
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setShift:  uint(bits.TrailingZeros(uint(numSets))),
 		setMask:   uint64(numSets - 1),
-		sets:      sets,
+		ways:      cfg.Ways,
+		lines:     make([]line, numSets*cfg.Ways),
 		rng:       rng,
 	}, nil
 }
@@ -160,7 +162,13 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 
 func (c *Cache) decompose(addr uint64) (set uint64, tag uint64) {
 	l := addr >> c.lineShift
-	return l & c.setMask, l >> bits.TrailingZeros64(c.setMask+1)
+	return l & c.setMask, l >> c.setShift
+}
+
+// setSlice returns the ways of one set.
+func (c *Cache) setSlice(set uint64) []line {
+	base := int(set) * c.ways
+	return c.lines[base : base+c.ways]
 }
 
 // Lookup probes the cache for addr, updating replacement state and the
@@ -169,7 +177,7 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 	c.stats.Accesses++
 	c.clock++
 	set, tag := c.decompose(addr)
-	ways := c.sets[set]
+	ways := c.setSlice(set)
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].stamp = c.clock
@@ -188,7 +196,7 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 // by the prefetcher to avoid redundant prefetches).
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.decompose(addr)
-	for _, l := range c.sets[set] {
+	for _, l := range c.setSlice(set) {
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -212,7 +220,7 @@ func (c *Cache) Fill(addr uint64, dirty bool) Eviction {
 	c.clock++
 	c.stats.Fills++
 	set, tag := c.decompose(addr)
-	ways := c.sets[set]
+	ways := c.setSlice(set)
 	victim := -1
 	for i := range ways {
 		if !ways[i].valid {
@@ -268,7 +276,7 @@ func (c *Cache) reconstruct(set, tag uint64) uint64 {
 // LLC.
 func (c *Cache) MarkDirty(addr uint64) bool {
 	set, tag := c.decompose(addr)
-	ways := c.sets[set]
+	ways := c.setSlice(set)
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].dirty = true
@@ -283,7 +291,7 @@ func (c *Cache) MarkDirty(addr uint64) bool {
 // pollution.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set, tag := c.decompose(addr)
-	ways := c.sets[set]
+	ways := c.setSlice(set)
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			present, dirty = true, ways[i].dirty
@@ -296,24 +304,20 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 
 // InvalidateAll empties the cache (cold boot).
 func (c *Cache) InvalidateAll() {
-	for _, s := range c.sets {
-		for i := range s {
-			s[i] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.lines) / c.ways }
 
 // ValidLines returns the number of valid lines currently cached.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for _, s := range c.sets {
-		for _, l := range s {
-			if l.valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n

@@ -12,6 +12,7 @@ type Prefetcher struct {
 	entries []strideEntry
 	mask    uint64
 	degree  int
+	scratch []uint64
 	stats   PrefetchStats
 }
 
@@ -43,6 +44,7 @@ func NewPrefetcher(tableSize, degree int) *Prefetcher {
 		entries: make([]strideEntry, tableSize),
 		mask:    uint64(tableSize - 1),
 		degree:  degree,
+		scratch: make([]uint64, 0, degree),
 	}
 }
 
@@ -52,6 +54,7 @@ func (p *Prefetcher) Stats() PrefetchStats { return p.stats }
 // Observe records a demand access by the load/store at pc to addr and
 // returns the line addresses to prefetch (nil when the pattern is not yet
 // confirmed). lineBytes is the cache line size used to align candidates.
+// The returned slice is reused scratch, valid only until the next Observe.
 func (p *Prefetcher) Observe(pc, addr uint64, lineBytes int) []uint64 {
 	e := &p.entries[(pc>>2)&p.mask]
 	if !e.valid || e.pc != pc {
@@ -77,7 +80,7 @@ func (p *Prefetcher) Observe(pc, addr uint64, lineBytes int) []uint64 {
 	}
 	p.stats.Trained++
 	line := uint64(lineBytes)
-	out := make([]uint64, 0, p.degree)
+	out := p.scratch[:0]
 	for i := 1; i <= p.degree; i++ {
 		next := uint64(int64(addr) + stride*int64(i))
 		next &^= line - 1
@@ -88,6 +91,7 @@ func (p *Prefetcher) Observe(pc, addr uint64, lineBytes int) []uint64 {
 		out = append(out, next)
 	}
 	p.stats.Issued += uint64(len(out))
+	p.scratch = out
 	return out
 }
 

@@ -7,7 +7,10 @@
 // H5TQ2G63BFR SDRAM.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes the DRAM timing in CPU cycles (the simulator runs a
 // single clock domain; device configs convert from nanoseconds using the
@@ -104,14 +107,19 @@ type Stats struct {
 	RefreshSpans uint64 // refresh windows recorded in the burst trace
 }
 
-// DRAM is the main-memory model.
+// DRAM is the main-memory model. Bank and row extraction are pure
+// shift/mask (Validate requires Banks and RowBytes to be powers of two),
+// precomputed at construction.
 type DRAM struct {
-	cfg      Config
-	bankFree []uint64
-	openRow  []uint64
-	hasRow   []bool
-	stats    Stats
-	bursts   []Burst
+	cfg       Config
+	rowShift  uint
+	bankShift uint
+	bankMask  uint64
+	bankFree  []uint64
+	openRow   []uint64
+	hasRow    []bool
+	stats     Stats
+	bursts    []Burst
 	// lastRefreshRecorded tracks which refresh windows were already
 	// appended to the burst trace.
 	lastRefreshRecorded uint64
@@ -127,6 +135,9 @@ func New(cfg Config, recordBursts bool) (*DRAM, error) {
 	}
 	return &DRAM{
 		cfg:          cfg,
+		rowShift:     uint(bits.TrailingZeros(uint(cfg.RowBytes))),
+		bankShift:    uint(bits.TrailingZeros(uint(cfg.Banks))),
+		bankMask:     uint64(cfg.Banks - 1),
 		bankFree:     make([]uint64, cfg.Banks),
 		openRow:      make([]uint64, cfg.Banks),
 		hasRow:       make([]bool, cfg.Banks),
@@ -182,8 +193,8 @@ func (d *DRAM) InRefresh(cycle uint64) bool {
 // refresh window. Bank conflicts and row-buffer state are modelled; the
 // caller (the memory system) is responsible for MSHR arbitration.
 func (d *DRAM) Access(when uint64, addr uint64, kind BurstKind) (done uint64, refreshHit bool) {
-	bank := int((addr / uint64(d.cfg.RowBytes)) % uint64(d.cfg.Banks))
-	row := addr / uint64(d.cfg.RowBytes) / uint64(d.cfg.Banks)
+	bank := int((addr >> d.rowShift) & d.bankMask)
+	row := addr >> d.rowShift >> d.bankShift
 
 	start := when
 	if d.bankFree[bank] > start {

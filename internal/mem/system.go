@@ -149,10 +149,25 @@ type System struct {
 	dram *dram.DRAM
 	pf   *cache.Prefetcher
 
-	mshrs     []mshr
-	misses    []MissRecord
-	dtlb      *TLB
-	pageShift uint
+	mshrs []mshr
+	// mshrMaxComplete is a high-water mark over every completion time an
+	// MSHR was ever assigned; once now reaches it, no entry can satisfy
+	// busy && complete > now, so the scans below exit on one compare.
+	mshrMaxComplete uint64
+	misses          []MissRecord
+	dtlb            *TLB
+	pageShift       uint
+
+	// Hot-path hoists: per-level hit latencies, the shared line geometry
+	// and the TLB penalty, so Access never copies a cache.Config (it
+	// carries a string name) just to read a latency.
+	l1iLat     uint64
+	l1dLat     uint64
+	llcLat     uint64
+	llcFillLat uint64
+	lineBytes  int
+	lineMask   uint64
+	tlbPenalty uint64
 
 	// CurrentRegion is stamped into miss records; the CPU model updates it
 	// as region markers flow through.
@@ -194,12 +209,19 @@ func NewSystem(cfg Config, rng *sim.RNG, recordBursts bool) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:   cfg,
-		l1i:   l1i,
-		l1d:   l1d,
-		llc:   llc,
-		dram:  d,
-		mshrs: make([]mshr, cfg.MSHRs),
+		cfg:        cfg,
+		l1i:        l1i,
+		l1d:        l1d,
+		llc:        llc,
+		dram:       d,
+		mshrs:      make([]mshr, cfg.MSHRs),
+		l1iLat:     uint64(cfg.L1I.HitLatency),
+		l1dLat:     uint64(cfg.L1D.HitLatency),
+		llcLat:     uint64(cfg.LLC.HitLatency),
+		llcFillLat: uint64(cfg.LLCFillLatency),
+		lineBytes:  cfg.LLC.LineBytes,
+		lineMask:   uint64(cfg.LLC.LineBytes - 1),
+		tlbPenalty: uint64(cfg.TLBPenalty),
 	}
 	if cfg.TLBEntries > 0 {
 		s.dtlb = NewTLB(cfg.TLBEntries)
@@ -256,6 +278,9 @@ func (s *System) Prefetcher() *cache.Prefetcher { return s.pf }
 
 // OutstandingMisses returns the number of MSHRs busy at cycle now.
 func (s *System) OutstandingMisses(now uint64) int {
+	if now >= s.mshrMaxComplete {
+		return 0
+	}
 	n := 0
 	for i := range s.mshrs {
 		if s.mshrs[i].busy && s.mshrs[i].complete > now {
@@ -267,6 +292,9 @@ func (s *System) OutstandingMisses(now uint64) int {
 
 // OldestOutstanding returns the earliest completion among busy MSHRs.
 func (s *System) OldestOutstanding(now uint64) (complete uint64, ok bool) {
+	if now >= s.mshrMaxComplete {
+		return 0, false
+	}
 	for i := range s.mshrs {
 		m := &s.mshrs[i]
 		if m.busy && m.complete > now {
@@ -280,6 +308,9 @@ func (s *System) OldestOutstanding(now uint64) (complete uint64, ok bool) {
 
 // lookupMSHR returns the completion cycle when lineAddr is outstanding.
 func (s *System) lookupMSHR(now, lineAddr uint64) (uint64, bool) {
+	if now >= s.mshrMaxComplete {
+		return 0, false
+	}
 	for i := range s.mshrs {
 		m := &s.mshrs[i]
 		if m.busy && m.complete > now && m.lineAddr == lineAddr {
@@ -320,22 +351,24 @@ func (s *System) allocMSHR(when, lineAddr uint64) (*mshr, uint64) {
 // Access services one memory request issued at cycle now.
 func (s *System) Access(now uint64, pc, addr uint64, kind AccessKind) Result {
 	var l1 *cache.Cache
+	var l1Lat uint64
 	if kind == KindInst {
 		l1 = s.l1i
+		l1Lat = s.l1iLat
 		s.stats.InstAccesses++
 	} else {
 		l1 = s.l1d
+		l1Lat = s.l1dLat
 		s.stats.DataAccesses++
 	}
 	write := kind == KindStore
-	l1Lat := uint64(l1.Config().HitLatency)
-	lineAddr := s.llc.LineAddr(addr)
+	lineAddr := addr &^ s.lineMask
 
 	// Address translation: a data-side TLB miss pays the page-walk
 	// penalty before the cache access proceeds.
 	if s.dtlb != nil && kind != KindInst {
 		if !s.dtlb.Lookup(addr >> s.pageShift) {
-			now += uint64(s.cfg.TLBPenalty)
+			now += s.tlbPenalty
 			s.stats.TLBMisses++
 		}
 	}
@@ -351,10 +384,10 @@ func (s *System) Access(now uint64, pc, addr uint64, kind AccessKind) Result {
 		return Result{Ready: now + l1Lat, L1Hit: true, MissID: -1}
 	}
 
-	llcLat := uint64(s.llc.Config().HitLatency)
+	llcLat := s.llcLat
 	// Stride prefetch trains on L1D demand misses, like the A5's unit.
 	if s.pf != nil && kind != KindInst {
-		for _, cand := range s.pf.Observe(pc, addr, s.llc.Config().LineBytes) {
+		for _, cand := range s.pf.Observe(pc, addr, s.lineBytes) {
 			s.issuePrefetch(now, cand)
 		}
 	}
@@ -367,8 +400,11 @@ func (s *System) Access(now uint64, pc, addr uint64, kind AccessKind) Result {
 	// New LLC miss: allocate an MSHR and go to DRAM.
 	entry, start := s.allocMSHR(now+l1Lat+llcLat, lineAddr)
 	done, refreshHit := s.dram.Access(start, lineAddr, dram.BurstRead)
-	complete := done + uint64(s.cfg.LLCFillLatency)
+	complete := done + s.llcFillLat
 	entry.complete = complete
+	if complete > s.mshrMaxComplete {
+		s.mshrMaxComplete = complete
+	}
 	s.stats.LLCMisses++
 
 	// Fill state immediately; timing is carried by the MSHR entry.

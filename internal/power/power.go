@@ -49,30 +49,41 @@ func DefaultWeights() Weights {
 	}
 }
 
-// Activity is the pipeline activity of one cycle.
+// Activity is the pipeline activity of one cycle. The counters are
+// float64 rather than int because the simulator rebuilds an Activity
+// every busy cycle and feeds it straight into CycleRef's weighted sum:
+// float counters make the increments (exact: +1.0 on small counts) and
+// the products conversion-free on the hottest path in the tree.
 type Activity struct {
 	FetchActive bool
-	Issued      int
-	IntALU      int
-	IntMulDiv   int
-	FPALU       int
-	FPMulDiv    int
-	MemAccesses int
-	MissesOut   int
+	Issued      float64
+	IntALU      float64
+	IntMulDiv   float64
+	FPALU       float64
+	FPMulDiv    float64
+	MemAccesses float64
+	MissesOut   float64
 }
 
 // Cycle returns the instantaneous power for one cycle of activity.
 func (w Weights) Cycle(a Activity) float64 {
+	return w.CycleRef(&a)
+}
+
+// CycleRef is Cycle without the receiver and argument copies — the form
+// the simulator's per-cycle loop calls (Weights is 9 float64s and
+// Activity 8 fields; copying both per simulated cycle was measurable).
+func (w *Weights) CycleRef(a *Activity) float64 {
 	p := w.Base
 	if a.FetchActive {
 		p += w.Fetch
 	}
-	p += w.PerIssue * float64(a.Issued)
-	p += w.IntALU * float64(a.IntALU)
-	p += w.IntMulDiv * float64(a.IntMulDiv)
-	p += w.FPALU * float64(a.FPALU)
-	p += w.FPMulDiv * float64(a.FPMulDiv)
-	p += w.MemAccess * float64(a.MemAccesses)
+	p += w.PerIssue * a.Issued
+	p += w.IntALU * a.IntALU
+	p += w.IntMulDiv * a.IntMulDiv
+	p += w.FPALU * a.FPALU
+	p += w.FPMulDiv * a.FPMulDiv
+	p += w.MemAccess * a.MemAccesses
 	if a.MissesOut > 0 {
 		p += w.MissWait
 	}

@@ -96,6 +96,17 @@ type Stream interface {
 	Next(inst *Inst) bool
 }
 
+// BlockStream is implemented by streams that can expose whole contiguous
+// runs of instructions without a per-instruction interface call or copy.
+// NextBlock returns the next non-empty run, or an empty slice at end of
+// stream; the returned memory is only valid until the next NextBlock or
+// Next call. Consumers must behave identically whether they read via
+// NextBlock or Next — it is purely a fast path.
+type BlockStream interface {
+	Stream
+	NextBlock() []Inst
+}
+
 // SliceStream adapts a pre-built instruction slice to the Stream interface.
 // It is mainly used by tests and by small engineered kernels.
 type SliceStream struct {
@@ -116,6 +127,13 @@ func (s *SliceStream) Next(inst *Inst) bool {
 	*inst = s.insts[s.pos]
 	s.pos++
 	return true
+}
+
+// NextBlock implements BlockStream: the whole remaining trace in one run.
+func (s *SliceStream) NextBlock() []Inst {
+	out := s.insts[s.pos:]
+	s.pos = len(s.insts)
+	return out
 }
 
 // Reset rewinds the stream to the beginning.

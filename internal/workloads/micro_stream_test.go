@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"testing"
+
+	"emprof/internal/sim"
+)
+
+// microStreamParamGrid exercises the phase boundaries: tiny and default
+// geometries, TM divisible and non-divisible by CM, IterWork below one
+// PRNG-loop body, and TM < CM (no calls at all).
+func microStreamParamGrid() []MicroParams {
+	small := MicroParams{TM: 16, CM: 4, Pages: 64, PageBytes: 4096, LineBytes: 64,
+		BlankIters: 7, CallWork: 5, IterWork: 36, TouchWork: 2, Seed: 99}
+	odd := small
+	odd.TM = 17
+	odd.CM = 5
+	odd.IterWork = 1 // below one PRNG body: prngIters clamps to 1
+	nocall := small
+	nocall.TM = 3
+	nocall.CM = 8
+	return []MicroParams{
+		small,
+		odd,
+		nocall,
+		DefaultMicroParams(32, 8),
+		DefaultMicroParams(64, 1),
+	}
+}
+
+// TestMicroStreamMatchesReference proves the incremental generator emits
+// exactly the reference trace, element for element, and that Len agrees.
+func TestMicroStreamMatchesReference(t *testing.T) {
+	for _, p := range microStreamParamGrid() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("grid params invalid: %v", err)
+		}
+		want := materializeMicro(p)
+		st, err := Microbenchmark(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Len() != len(want) {
+			t.Fatalf("TM=%d CM=%d IterWork=%d: Len()=%d, reference has %d",
+				p.TM, p.CM, p.IterWork, st.Len(), len(want))
+		}
+		var in sim.Inst
+		for i := 0; ; i++ {
+			if !st.Next(&in) {
+				if i != len(want) {
+					t.Fatalf("TM=%d CM=%d: stream ended at %d, want %d", p.TM, p.CM, i, len(want))
+				}
+				break
+			}
+			if i >= len(want) {
+				t.Fatalf("TM=%d CM=%d: stream longer than reference (%d)", p.TM, p.CM, len(want))
+			}
+			if in != want[i] {
+				t.Fatalf("TM=%d CM=%d inst %d: got %+v want %+v", p.TM, p.CM, i, in, want[i])
+			}
+		}
+	}
+}
+
+// TestMicroStreamReset proves Reset rewinds to an identical replay
+// (including the RNG-drawn addresses and the used-line set).
+func TestMicroStreamReset(t *testing.T) {
+	p := DefaultMicroParams(32, 8)
+	st, err := Microbenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drain(st)
+	st.Reset()
+	second := drain(st)
+	if len(first) != len(second) {
+		t.Fatalf("replay length %d != %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("inst %d differs after Reset: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+}

@@ -36,6 +36,12 @@ type CaptureOptions struct {
 	// per-cycle). The recorded signals are bit-identical for every batch
 	// size; larger batches only amortise the simulator→receiver boundary.
 	BatchCycles int
+	// Exact forces the reference per-cycle simulation loop instead of the
+	// event-driven skip-ahead path. The two are bit-identical by
+	// construction (see internal/cpu and the equivalence tests); Exact
+	// exists as an escape hatch and as the oracle those tests compare
+	// against. SimulateExact is shorthand for setting it.
+	Exact bool
 	// Probe places the processor probe relative to the best-coupling
 	// reference point (see ProbePosition). The zero value is the reference
 	// placement and leaves the capture bit-identical to a run that
@@ -69,6 +75,12 @@ func Simulate(dev Device, w Workload, opts CaptureOptions) (*Run, error) {
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
+	// Streams are consumed as they run; rewind resettable ones so the same
+	// Workload value can be simulated repeatedly (e.g. Simulate vs
+	// SimulateExact over one workload). On a fresh stream this is a no-op.
+	if rs, ok := w.(interface{ Reset() }); ok {
+		rs.Reset()
+	}
 	rng := sim.NewRNG(opts.Seed ^ 0x9e3779b97f4a7c15)
 	ms, err := mem.NewSystem(dev.Mem, rng, opts.MemoryProbe)
 	if err != nil {
@@ -79,6 +91,7 @@ func Simulate(dev Device, w Workload, opts CaptureOptions) (*Run, error) {
 		return nil, err
 	}
 	c.BatchCycles = opts.BatchCycles
+	c.Exact = opts.Exact
 
 	bw := opts.BandwidthHz
 	if bw == 0 {
@@ -139,6 +152,15 @@ func Simulate(dev Device, w Workload, opts CaptureOptions) (*Run, error) {
 		run.MemCapture = memCap
 	}
 	return run, nil
+}
+
+// SimulateExact is Simulate forced onto the reference per-cycle simulation
+// loop (opts.Exact = true). It exists for regression hunting and as the
+// oracle in equivalence tests; for any device, workload and options the
+// returned Run is bit-identical to Simulate's.
+func SimulateExact(dev Device, w Workload, opts CaptureOptions) (*Run, error) {
+	opts.Exact = true
+	return Simulate(dev, w, opts)
 }
 
 // synthesizeMemoryProbe builds the memory-side EM capture from the DRAM
