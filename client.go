@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"emprof/internal/service"
@@ -37,15 +39,33 @@ type SessionSpec struct {
 	Config *Config
 }
 
-// Client talks to an emprofd profiling daemon (cmd/emprofd). The zero
-// value is not usable; construct with NewClient.
+// Client talks to an emprofd profiling daemon (cmd/emprofd) or a fleet
+// router (emprofd -router). The zero value is not usable; construct with
+// NewClient.
 //
-// Transient failures are retried with exponential backoff: GETs always;
-// session creation (a lost response at worst leaks a session for the
-// daemon's idle TTL to collect); and sample pushes only on 429, which
-// the service guarantees it sends before ingesting anything, so the
-// retry can never double-count samples. Other mid-stream push failures
-// are not retried — the client cannot know how much of the body landed.
+// Transient failures are retried with full-jitter exponential backoff
+// (each sleep is uniform in [0, base<<attempt], so a fleet of clients
+// released by one shard mark-down does not retry in lockstep). What is
+// retried depends on the request:
+//
+//	retryAll          network errors and 429/502/503/504 — GETs, session
+//	                  creation (a lost response at worst leaks a session
+//	                  for the idle TTL to collect), finalize, and
+//	                  offset-tagged pushes (idempotent by construction).
+//	retryBackpressure 429/502/503 response codes only — plain pushes.
+//	                  The service guarantees each of these is sent
+//	                  before ingesting anything (registry full, byte
+//	                  budget, shutting down, session pinned for
+//	                  hand-off, router shard unreachable), so the retry
+//	                  can never double-count samples. Network errors and
+//	                  504 are NOT retried here: the body may have partly
+//	                  landed and an untagged retry cannot know how much.
+//
+// StreamCapture tags every push with its stream offset
+// (service.HeaderOffset), making pushes idempotent server-side — the
+// daemon skips whatever prefix of a retried body it already decoded —
+// so mid-capture uploads survive router hand-offs and dropped responses
+// without loss or double counting.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:7979".
 	BaseURL string
@@ -53,9 +73,12 @@ type Client struct {
 	HTTPClient *http.Client
 	// MaxRetries bounds retry attempts per request (default 4).
 	MaxRetries int
-	// RetryBaseDelay is the first backoff step (default 100ms), doubling
-	// per attempt.
+	// RetryBaseDelay scales the backoff: attempt n sleeps uniform in
+	// [0, RetryBaseDelay<<n] (default 100ms base).
 	RetryBaseDelay time.Duration
+	// RetryRand, when set, supplies the jitter draws in [0, 1) — tests
+	// inject a deterministic source. Nil means math/rand.
+	RetryRand func() float64
 	// ChunkSamples is the number of samples per upload request in
 	// StreamCapture (default 65536, i.e. 512 KiB bodies).
 	ChunkSamples int
@@ -80,20 +103,34 @@ func (c *Client) maxRetries() int {
 	return 4
 }
 
+// retryDelay draws the full-jitter backoff sleep for one attempt:
+// uniform in [0, base<<attempt]. Decorrelated sleeps are what keep a
+// fleet of clients from hammering a recovering shard in synchronized
+// waves after a mark-down releases them all at once.
 func (c *Client) retryDelay(attempt int) time.Duration {
 	d := c.RetryBaseDelay
 	if d <= 0 {
 		d = 100 * time.Millisecond
 	}
-	return d << attempt
+	r := c.RetryRand
+	if r == nil {
+		r = rand.Float64
+	}
+	return time.Duration(r() * float64(d<<attempt))
 }
 
-// retryMode selects which failures a request may be retried on.
+// retryMode selects which failures a request may be retried on; see the
+// Client doc comment for the full table.
 type retryMode int
 
 const (
-	retryAll     retryMode = iota // network errors and transient statuses
-	retry429Only                  // only "rejected before ingest" backpressure
+	// retryAll retries network errors and every transient status; for
+	// requests that are idempotent (GETs, create, offset-tagged pushes).
+	retryAll retryMode = iota
+	// retryBackpressure retries only statuses the service guarantees to
+	// send before ingesting anything: 429 (full/budget) and 502/503 (a
+	// router shard unreachable, or a session pinned mid-hand-off).
+	retryBackpressure
 )
 
 // transientStatus reports whether an HTTP status indicates a failure
@@ -107,9 +144,20 @@ func transientStatus(code int) bool {
 	return false
 }
 
+// backpressureStatus reports the statuses sent strictly before ingest.
+func backpressureStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
 // do issues one request with retry/backoff, decoding a JSON response into
-// out when it is non-nil. body, when non-nil, is replayed on each retry.
-func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentType string, body []byte, out any) error {
+// out when it is non-nil. body, when non-nil, is replayed on each retry;
+// hdr, when non-nil, is added to every attempt.
+func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentType string, hdr http.Header, body []byte, out any) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
 		if attempt > 0 {
@@ -130,12 +178,19 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			lastErr = err
 			if mode == retryAll {
 				continue
 			}
+			// Backpressure mode cannot retry a network error: without an
+			// offset tag there is no telling how much of the body landed.
 			return err
 		}
 		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
@@ -157,8 +212,8 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 		_ = json.Unmarshal(data, &ae)
 		lastErr = &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
 		retryable := transientStatus(resp.StatusCode)
-		if mode == retry429Only {
-			retryable = resp.StatusCode == http.StatusTooManyRequests
+		if mode == retryBackpressure {
+			retryable = backpressureStatus(resp.StatusCode)
 		}
 		if !retryable {
 			return lastErr
@@ -186,7 +241,7 @@ func (c *Client) CreateSession(ctx context.Context, spec SessionSpec) (string, e
 		return "", err
 	}
 	var resp service.CreateResponse
-	if err := c.do(ctx, retryAll, http.MethodPost, "/v1/sessions", "application/json", body, &resp); err != nil {
+	if err := c.do(ctx, retryAll, http.MethodPost, "/v1/sessions", "application/json", nil, body, &resp); err != nil {
 		return "", err
 	}
 	return resp.ID, nil
@@ -195,30 +250,72 @@ func (c *Client) CreateSession(ctx context.Context, spec SessionSpec) (string, e
 // PushSamples uploads one block of magnitude samples to a session, in the
 // raw little-endian float64 wire format. Blocks arrive in call order;
 // concurrent pushes to one session are serialised by the daemon but land
-// in unspecified order, so keep one uploader per session.
+// in unspecified order, so keep one uploader per session. Retries follow
+// retryBackpressure (see the Client doc comment); callers that track
+// their stream position should prefer PushSamplesAt, whose retries also
+// survive network errors.
 func (c *Client) PushSamples(ctx context.Context, id string, samples []float64) error {
+	return c.do(ctx, retryBackpressure, http.MethodPost,
+		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, nil, encodeSamples(samples), nil)
+}
+
+// PushSamplesAt uploads one block whose first sample is at session
+// stream index offset (the total number of samples pushed to the
+// session before this block, across all callers). The offset tag makes
+// the push idempotent: if a previous attempt partially landed — or
+// landed fully with the response lost — the daemon skips the decoded
+// prefix of the retried body, so the block is retried on any transient
+// failure, network errors included, without risking double ingest. It
+// returns the session's ingest totals after the push.
+func (c *Client) PushSamplesAt(ctx context.Context, id string, offset int64, samples []float64) (service.IngestResult, error) {
+	hdr := http.Header{service.HeaderOffset: []string{strconv.FormatInt(offset, 10)}}
+	var res service.IngestResult
+	err := c.do(ctx, retryAll, http.MethodPost,
+		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, hdr, encodeSamples(samples), &res)
+	return res, err
+}
+
+func encodeSamples(samples []float64) []byte {
 	body := make([]byte, len(samples)*8)
 	for i, v := range samples {
 		binary.LittleEndian.PutUint64(body[i*8:], math.Float64bits(v))
 	}
-	return c.do(ctx, retry429Only, http.MethodPost,
-		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, body, nil)
+	return body
+}
+
+// sessionOffset asks the daemon for a session's current stream position
+// via an empty push — idempotent by construction, so it retries freely.
+func (c *Client) sessionOffset(ctx context.Context, id string) (int64, error) {
+	var res service.IngestResult
+	if err := c.do(ctx, retryAll, http.MethodPost,
+		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, nil, []byte{}, &res); err != nil {
+		return 0, err
+	}
+	return res.SamplesIngested, nil
 }
 
 // StreamCapture uploads a whole capture to a session in ChunkSamples
 // blocks — the file-less equivalent of SaveCapture + "emprof -i": the
-// daemon profiles the samples as they arrive.
+// daemon profiles the samples as they arrive. It first learns the
+// session's current stream position, then offset-tags every block
+// (PushSamplesAt), so the upload rides out shard hand-offs and lost
+// responses exactly once per sample — including when the capture
+// continues an earlier upload to the same session.
 func (c *Client) StreamCapture(ctx context.Context, id string, capture *Capture) error {
 	chunk := c.ChunkSamples
 	if chunk <= 0 {
 		chunk = 65536
+	}
+	base, err := c.sessionOffset(ctx, id)
+	if err != nil {
+		return fmt.Errorf("reading session stream position: %w", err)
 	}
 	for off := 0; off < len(capture.Samples); off += chunk {
 		end := off + chunk
 		if end > len(capture.Samples) {
 			end = len(capture.Samples)
 		}
-		if err := c.PushSamples(ctx, id, capture.Samples[off:end]); err != nil {
+		if _, err := c.PushSamplesAt(ctx, id, base+int64(off), capture.Samples[off:end]); err != nil {
 			return fmt.Errorf("streaming samples [%d:%d): %w", off, end, err)
 		}
 	}
@@ -229,7 +326,7 @@ func (c *Client) StreamCapture(ctx context.Context, id string, capture *Capture)
 // everything decided so far, without disturbing the stream.
 func (c *Client) Profile(ctx context.Context, id string) (*SessionSnapshot, error) {
 	var snap SessionSnapshot
-	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions/"+id+"/profile", "", nil, &snap); err != nil {
+	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions/"+id+"/profile", "", nil, nil, &snap); err != nil {
 		return nil, err
 	}
 	return &snap, nil
@@ -240,7 +337,7 @@ func (c *Client) Profile(ctx context.Context, id string) (*SessionSnapshot, erro
 // afterwards.
 func (c *Client) Finalize(ctx context.Context, id string) (*Profile, error) {
 	var prof Profile
-	if err := c.do(ctx, retryAll, http.MethodDelete, "/v1/sessions/"+id, "", nil, &prof); err != nil {
+	if err := c.do(ctx, retryAll, http.MethodDelete, "/v1/sessions/"+id, "", nil, nil, &prof); err != nil {
 		return nil, err
 	}
 	return &prof, nil
@@ -258,7 +355,7 @@ type SessionTrace = service.TraceResponse
 // session calls on the same client are unaffected.
 func (c *Client) Trace(ctx context.Context, id string) (*SessionTrace, error) {
 	var tr SessionTrace
-	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions/"+id+"/trace", "", nil, &tr); err != nil {
+	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions/"+id+"/trace", "", nil, nil, &tr); err != nil {
 		return nil, err
 	}
 	return &tr, nil
@@ -267,7 +364,7 @@ func (c *Client) Trace(ctx context.Context, id string) (*SessionTrace, error) {
 // ListSessions returns the daemon's live sessions.
 func (c *Client) ListSessions(ctx context.Context) ([]SessionInfo, error) {
 	var out []SessionInfo
-	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions", "", nil, &out); err != nil {
+	if err := c.do(ctx, retryAll, http.MethodGet, "/v1/sessions", "", nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil

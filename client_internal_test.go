@@ -1,0 +1,63 @@
+package emprof
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayFullJitter pins the backoff law: attempt n sleeps
+// exactly RetryRand()·(base<<n), so with an injected source the whole
+// schedule is deterministic and spans [0, base<<n).
+func TestRetryDelayFullJitter(t *testing.T) {
+	base := 100 * time.Millisecond
+	c := &Client{RetryBaseDelay: base}
+
+	draws := []float64{0, 0.5, 0.25, 0.999}
+	i := 0
+	c.RetryRand = func() float64 { d := draws[i%len(draws)]; i++; return d }
+
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 0}, // draw 0.0
+		{1, time.Duration(0.5 * float64(base<<1))},   // 100ms
+		{2, time.Duration(0.25 * float64(base<<2))},  // 100ms
+		{3, time.Duration(0.999 * float64(base<<3))}, // ~799ms
+	}
+	for _, tc := range cases {
+		if got := c.retryDelay(tc.attempt); got != tc.want {
+			t.Fatalf("retryDelay(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+
+	// Replaying the same source gives the same schedule.
+	i = 0
+	for _, tc := range cases {
+		if got := c.retryDelay(tc.attempt); got != tc.want {
+			t.Fatalf("replay retryDelay(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+
+	// With a real rand source every draw stays inside the full-jitter
+	// envelope [0, base<<attempt) — never the fixed ceiling that would
+	// re-synchronize a fleet of backed-off clients.
+	rng := rand.New(rand.NewSource(7))
+	c.RetryRand = rng.Float64
+	for attempt := 0; attempt < 6; attempt++ {
+		for k := 0; k < 200; k++ {
+			d := c.retryDelay(attempt)
+			if d < 0 || d >= base<<attempt {
+				t.Fatalf("retryDelay(%d) = %v outside [0, %v)", attempt, d, base<<attempt)
+			}
+		}
+	}
+
+	// Nil RetryRand and zero base fall back to math/rand over the 100ms
+	// default without panicking.
+	d := (&Client{}).retryDelay(2)
+	if d < 0 || d >= 400*time.Millisecond {
+		t.Fatalf("default retryDelay(2) = %v outside [0, 400ms)", d)
+	}
+}

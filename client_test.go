@@ -202,6 +202,96 @@ func TestClientRetriesBackpressure(t *testing.T) {
 	}
 }
 
+// TestClientRetriesRouterStatuses checks that plain pushes ride out the
+// statuses a fleet router emits for transient shard trouble — 502 (shard
+// unreachable) and 503 (session pinned mid-hand-off) — exactly like 429,
+// while a network error on an untagged push fails immediately: without
+// an offset tag the client cannot know how much of the body landed.
+func TestClientRetriesRouterStatuses(t *testing.T) {
+	_, ts := startDaemon(t, service.Config{})
+	inner := ts.Client()
+	codes := []int{http.StatusBadGateway, http.StatusServiceUnavailable}
+	var hits atomic.Int32
+	shim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/samples") {
+			if n := int(hits.Add(1)) - 1; n < len(codes) {
+				w.WriteHeader(codes[n])
+				w.Write([]byte(`{"error":"shard unavailable"}`))
+				return
+			}
+		}
+		req, err := http.NewRequest(r.Method, ts.URL+r.URL.Path, r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header
+		resp, err := inner.Do(req)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32*1024)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if rerr != nil {
+				break
+			}
+		}
+	}))
+	defer shim.Close()
+
+	client := emprof.NewClient(shim.URL)
+	client.RetryBaseDelay = 1
+	ctx := context.Background()
+	id, err := client.CreateSession(ctx, emprof.SessionSpec{SampleRate: 40e6, ClockHz: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PushSamples(ctx, id, make([]float64, 64)); err != nil {
+		t.Fatalf("push through 502/503: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("push took %d attempts, want 3 (502, 503, success)", got)
+	}
+	snap, err := client.Profile(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SamplesIngested != 64 {
+		t.Fatalf("ingested %d after retries, want exactly 64", snap.SamplesIngested)
+	}
+
+	// Network error on an untagged push: exactly one attempt, surfaced.
+	var drops atomic.Int32
+	killer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		drops.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Fatal("test server not hijackable")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}))
+	defer killer.Close()
+	dead := emprof.NewClient(killer.URL)
+	dead.RetryBaseDelay = 1
+	if err := dead.PushSamples(ctx, "x", make([]float64, 8)); err == nil {
+		t.Fatal("push over severed connection succeeded")
+	}
+	if got := drops.Load(); got != 1 {
+		t.Fatalf("untagged push retried a network error: %d attempts, want 1", got)
+	}
+}
+
 // TestClientTrace streams a capture and fetches the session's decision
 // trace: the accepted-stall events must reconcile with the final profile.
 func TestClientTrace(t *testing.T) {

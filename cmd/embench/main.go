@@ -9,6 +9,8 @@
 //	embench -bench-synthesis -bench-out BENCH_synthesis.json
 //	embench -bench-synthesis -bench-check BENCH_synthesis.json
 //	embench -bench-observer-guard
+//	embench -bench-ingest -bench-out BENCH_ingest.json
+//	embench -bench-ingest -quick -bench-check BENCH_ingest.json
 package main
 
 import (
@@ -48,6 +50,12 @@ func realMain() int {
 		benchNoiseFloor = flag.Float64("bench-noise-floor", 0, "absolute ns/cycle slack on top of the ratio (0 = default 0.5, negative disables)")
 		benchAllocRatio = flag.Float64("bench-alloc-ratio", 0, "allowed allocs/op ratio over baseline (0 = default 1.25, negative disables the alloc gate)")
 		benchGuard      = flag.Bool("bench-observer-guard", false, "verify the trace layer's nil-observer fast path: 0 allocs/op steady state and <3% ns/cycle observer overhead")
+
+		benchIngest         = flag.Bool("bench-ingest", false, "run the fleet ingest benchmark: concurrent streams through an in-process router+shards fleet with one forced rebalance")
+		benchIngestShards   = flag.Int("bench-ingest-shards", 0, "fleet shard count (0 = default 2)")
+		benchIngestSessions = flag.Int("bench-ingest-sessions", 0, "concurrent capture streams (0 = default 16, or 4 with -quick)")
+		benchIngestSamples  = flag.Int("bench-ingest-samples", 0, "samples per stream (0 = default 240000, or 40000 with -quick)")
+		benchLatencyFloor   = flag.Float64("bench-latency-floor", 0, "absolute ms slack on top of the ingest latency ratio (0 = default 2, negative disables)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -101,6 +109,32 @@ func realMain() int {
 		return 0
 	}
 
+	if *benchIngest {
+		gate := experiments.GateOptions{
+			MaxRatio:       *benchMaxRatio,
+			LatencyFloorMs: *benchLatencyFloor,
+		}
+		opts := experiments.IngestBenchOptions{
+			Shards:            *benchIngestShards,
+			Sessions:          *benchIngestSessions,
+			SamplesPerSession: *benchIngestSamples,
+			Rebalance:         true,
+		}
+		if *quick {
+			if opts.Sessions == 0 {
+				opts.Sessions = 4
+			}
+			if opts.SamplesPerSession == 0 {
+				opts.SamplesPerSession = 40000
+			}
+		}
+		if err := runIngestBench(opts, *benchOut, *benchCheck, gate); err != nil {
+			fmt.Fprintf(os.Stderr, "embench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *benchGuard {
 		if err := experiments.RunObserverGuard(*benchCount, *quick, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "embench: %v\n", err)
@@ -138,6 +172,32 @@ func realMain() int {
 		fmt.Printf("[%s done in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// runIngestBench runs the fleet load harness, optionally writes the
+// JSON report, and optionally gates it against the committed baseline.
+func runIngestBench(opts experiments.IngestBenchOptions, outPath, checkPath string, gate experiments.GateOptions) error {
+	rep, err := experiments.RunIngestBench(opts, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := experiments.WriteIngestBench(rep, outPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if checkPath != "" {
+		base, err := experiments.LoadIngestBench(checkPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.CompareIngestBench(rep, base, gate, os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("ingest benchmark check passed")
+	}
+	return nil
 }
 
 // runSynthBench runs the benchmark set, optionally writes the JSON report,

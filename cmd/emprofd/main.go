@@ -11,6 +11,17 @@
 //	curl -s localhost:7979/v1/sessions
 //	curl -s localhost:7979/metrics
 //
+// With -router it serves as the stateless front of a fleet of emprofd
+// shards instead: sessions are mapped onto shards by a consistent hash
+// ring, per-session routes proxy to the owner, the session list and
+// /metrics aggregate fleet-wide, and membership changes via the
+// /v1/fleet/shards admin routes hand live sessions off between shards
+// without replay or double ingest:
+//
+//	emprofd -addr :8080 -router -shards http://localhost:7979,http://localhost:7980
+//	curl -s localhost:8080/v1/fleet
+//	curl -s -XPOST localhost:8080/v1/fleet/shards -d '{"url":"http://localhost:7981"}'
+//
 // API (JSON unless noted; every /v1 route is also served at its bare
 // unversioned path for pre-versioning clients):
 //
@@ -32,9 +43,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"emprof/internal/fleet"
 	"emprof/internal/service"
 	"emprof/internal/version"
 )
@@ -49,10 +62,21 @@ func main() {
 		gcInterval  = flag.Duration("gc-interval", 0, "idle-session sweep interval (0 = idle-ttl/4)")
 		traceRing   = flag.Int("trace-ring", service.DefaultTraceRing, "per-session decision-trace ring capacity served at /v1/sessions/{id}/trace (negative disables tracing)")
 		showVersion = flag.Bool("version", false, "print version and exit")
+
+		router         = flag.Bool("router", false, "run as a fleet router in front of -shards instead of serving sessions directly")
+		shards         = flag.String("shards", "", "with -router: comma-separated shard base URLs, e.g. http://10.0.0.1:7979,http://10.0.0.2:7979")
+		ringSeed       = flag.Uint64("ring-seed", 0, "with -router: consistent-hash ring seed (every router replica in front of one fleet must agree)")
+		vnodes         = flag.Int("vnodes", 0, "with -router: virtual nodes per shard on the ring (0 = default)")
+		healthInterval = flag.Duration("health-interval", 0, "with -router: shard health-probe spacing (0 = default 2s)")
+		failThreshold  = flag.Int("fail-threshold", 0, "with -router: consecutive probe failures before a shard is marked down (0 = default 3)")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Printf("emprofd %s\n", version.Version)
+		return
+	}
+	if *router {
+		runRouter(*addr, *shards, *ringSeed, *vnodes, *healthInterval, *failThreshold)
 		return
 	}
 
@@ -94,6 +118,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emprofd: shutdown:", err)
 	}
 	srv.Close()
+}
+
+// runRouter serves the fleet front: session routing over a consistent
+// hash ring, fleet-wide list/metrics aggregation, health-checked shard
+// membership with live hand-off on /v1/fleet/shards changes.
+func runRouter(addr, shardList string, seed uint64, vnodes int, healthInterval time.Duration, failThreshold int) {
+	var urls []string
+	for _, s := range strings.Split(shardList, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			urls = append(urls, s)
+		}
+	}
+	rt, err := fleet.NewRouter(fleet.Config{
+		Shards:         urls,
+		Seed:           seed,
+		VirtualNodes:   vnodes,
+		HealthInterval: healthInterval,
+		FailThreshold:  failThreshold,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	stop := rt.Start()
+	defer stop()
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("emprofd %s routing on %s for %d shards\n", version.Version, addr, len(urls))
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("emprofd: router shutting down")
+	shctx, shcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer shcancel()
+	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "emprofd: shutdown:", err)
+	}
 }
 
 func fatal(err error) {

@@ -24,6 +24,15 @@
 //	emsim -device olimex -fault-probe-bump 1.75 -fault-probe-bump-at 0.0005 -o bumped.cap
 //	emsim -probe-search -device olimex -probe-x 4 -probe-y -3
 //	emsim -parallel -device olimex -probe-offsets 0,1,2,4
+//
+// With -fleet it becomes the fleet load harness: -sessions concurrent
+// clients stream the simulated capture through an emprofd router —
+// an in-process router+shards fleet (with one forced rebalance), or an
+// external one via -fleet-url — verifying zero lost sessions and zero
+// double-ingested samples, then printing the aggregated fleet metrics:
+//
+//	emsim -fleet -sessions 50
+//	emsim -fleet -fleet-url http://localhost:7979 -sessions 50
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 
 	"emprof"
 	"emprof/internal/em"
+	"emprof/internal/experiments"
 	"emprof/internal/version"
 )
 
@@ -53,6 +63,11 @@ func main() {
 		out        = flag.String("o", "capture.cap", "output capture file")
 		truth      = flag.Bool("truth", false, "print ground-truth summary to stdout")
 		serveURL   = flag.String("serve-url", "", "stream the capture to an emprofd daemon at this URL instead of writing a file")
+		fleetMode  = flag.Bool("fleet", false, "fleet load mode: stream the capture concurrently from -sessions clients through a router+shards fleet, with a forced mid-run rebalance, and report latency percentiles")
+		fleetURL   = flag.String("fleet-url", "", "with -fleet: target an external router instead of booting an in-process fleet (external fleets are not rebalanced)")
+		fleetN     = flag.Int("fleet-shards", 2, "with -fleet: in-process shard count")
+		sessions   = flag.Int("sessions", 50, "with -fleet: concurrent capture streams")
+		fleetOut   = flag.String("fleet-out", "", "with -fleet: write the ingest benchmark JSON report to this file")
 		traceOut   = flag.String("trace", "", "with -serve-url: save the daemon's decision trace for the session to this JSONL file before finalizing")
 		showVer    = flag.Bool("version", false, "print version and exit")
 
@@ -182,6 +197,10 @@ func main() {
 		capture = impaired
 		fmt.Printf("injected faults: %s\n", rep)
 	}
+	if *fleetMode {
+		runFleetLoad(capture, *fleetURL, *fleetN, *sessions, *fleetOut)
+		return
+	}
 	if *serveURL != "" {
 		serveCapture(*serveURL, *deviceName, *traceOut, capture)
 		return
@@ -296,6 +315,38 @@ func runProbeSearch(device, workload string, scale float64, seed uint64, bw floa
 	}
 	fmt.Printf("best placement: %s (score %.4f, %.2f mm from reference)\n",
 		res.Best, res.Score, res.Best.OffsetMM())
+}
+
+// runFleetLoad drives the fleet load harness with the simulated
+// capture: -sessions concurrent clients stream it through a router —
+// in-process (with one forced rebalance mid-run) or external — and the
+// run fails unless every session finalizes bit-identical to the batch
+// analysis with zero samples lost or double-ingested. The aggregated
+// fleet metrics print afterwards for smoke tests to grep.
+func runFleetLoad(capture *emprof.Capture, url string, shards, sessions int, outPath string) {
+	// Size chunks off the capture so every stream takes several pushes —
+	// the mid-run rebalance must land between chunks, not after the
+	// stream already finished.
+	chunk := len(capture.Samples)/8 + 1
+	rep, err := experiments.RunIngestBench(experiments.IngestBenchOptions{
+		Shards:       shards,
+		Sessions:     sessions,
+		ChunkSamples: chunk,
+		Capture:      capture,
+		Rebalance:    url == "",
+		RouterURL:    url,
+		MetricsTo:    os.Stdout,
+	}, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if outPath != "" {
+		if err := experiments.WriteIngestBench(rep, outPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	fmt.Printf("fleet load passed: %d sessions, every profile bit-identical, no samples lost or double-ingested\n", sessions)
 }
 
 // serveCapture streams the capture to an emprofd daemon and prints the

@@ -254,6 +254,42 @@ func (m *MovingAverage) Reset() {
 	m.pos, m.sum, m.full = 0, 0, false
 }
 
+// MovingAverageState is a serializable snapshot of a MovingAverage's
+// ring and running sum, for streaming hand-off (core.StreamAnalyzer
+// state export). The window width is re-derived by the restoring side;
+// Restore rejects a state of a different width.
+type MovingAverageState struct {
+	Buf  []float64 `json:"buf"`
+	Pos  int       `json:"pos"`
+	Sum  float64   `json:"sum"`
+	Full bool      `json:"full"`
+}
+
+// State returns a deep copy of the filter state.
+func (m *MovingAverage) State() MovingAverageState {
+	return MovingAverageState{
+		Buf:  append([]float64(nil), m.buf...),
+		Pos:  m.pos,
+		Sum:  m.sum,
+		Full: m.full,
+	}
+}
+
+// Restore overwrites the filter with a state captured by State on an
+// average of the same window width; processing continues bit-identically
+// to the exporting instance.
+func (m *MovingAverage) Restore(st MovingAverageState) error {
+	if len(st.Buf) != m.n {
+		return fmt.Errorf("dsp: moving-average state for window %d, have %d", len(st.Buf), m.n)
+	}
+	if st.Pos < 0 || st.Pos >= m.n {
+		return fmt.Errorf("dsp: moving-average state position %d out of range", st.Pos)
+	}
+	copy(m.buf, st.Buf)
+	m.pos, m.sum, m.full = st.Pos, st.Sum, st.Full
+	return nil
+}
+
 // ProcessBlock applies the moving average to a block, writing into out
 // (allocated if nil or too small). out may alias in; partially-overlapping
 // slices are not supported. Output is bit-identical to calling Process per

@@ -1,5 +1,7 @@
 package dsp
 
+import "fmt"
+
 // MovingExtremum tracks the minimum or maximum over a sliding window of the
 // last w samples in amortised O(1) per sample using a monotonic deque.
 // EMPROF's normalisation stage (Section IV of the paper) runs one moving
@@ -94,6 +96,47 @@ func (m *MovingExtremum) Process(x float64) float64 {
 // Reset clears the window.
 func (m *MovingExtremum) Reset() {
 	m.head, m.tail, m.count = 0, 0, 0
+}
+
+// MovingExtremumState is a serializable snapshot of a MovingExtremum's
+// deque, for streaming hand-off (core.StreamAnalyzer state export). The
+// window width and min/max polarity are not part of the state: they are
+// structural parameters the restoring side re-derives from its own
+// configuration, and Restore rejects a state whose deque capacity does
+// not match them.
+type MovingExtremumState struct {
+	Idx   []int64   `json:"idx"`
+	Val   []float64 `json:"val"`
+	Head  int       `json:"head"`
+	Tail  int       `json:"tail"`
+	Count int64     `json:"count"`
+}
+
+// State returns a deep copy of the deque state.
+func (m *MovingExtremum) State() MovingExtremumState {
+	return MovingExtremumState{
+		Idx:   append([]int64(nil), m.idx...),
+		Val:   append([]float64(nil), m.val...),
+		Head:  m.head,
+		Tail:  m.tail,
+		Count: m.count,
+	}
+}
+
+// Restore overwrites the deque with a state captured by State on an
+// extremum of the same window width. Processing after Restore continues
+// bit-identically to the exporting instance.
+func (m *MovingExtremum) Restore(st MovingExtremumState) error {
+	if len(st.Idx) != len(m.idx) || len(st.Val) != len(m.val) {
+		return fmt.Errorf("dsp: extremum state for window %d, have %d", len(st.Idx)-1, m.w)
+	}
+	if st.Head < 0 || st.Head >= len(m.idx) || st.Tail < 0 || st.Tail >= len(m.idx) || st.Count < 0 {
+		return fmt.Errorf("dsp: extremum state out of range (head=%d tail=%d count=%d)", st.Head, st.Tail, st.Count)
+	}
+	copy(m.idx, st.Idx)
+	copy(m.val, st.Val)
+	m.head, m.tail, m.count = st.Head, st.Tail, st.Count
+	return nil
 }
 
 // ProcessBlock applies the sliding extremum to a block.

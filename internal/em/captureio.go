@@ -181,6 +181,12 @@ func (d *Decoder) parseHeader() error {
 	return nil
 }
 
+// DropFragment discards a half-assembled word left by an interrupted
+// Feed. The profiling service calls it before replay-skipping a retried
+// push body: the retry resends the fragmented sample whole, so the stale
+// prefix bytes must not be prepended to the resent ones.
+func (d *Decoder) DropFragment() { d.np = 0 }
+
 // HeaderDone reports whether the metadata is available (always true for a
 // raw decoder).
 func (d *Decoder) HeaderDone() bool { return d.hdrDone }
@@ -207,6 +213,82 @@ func (d *Decoder) Complete() bool {
 // Trailing returns the number of bytes received beyond the declared
 // sample count.
 func (d *Decoder) Trailing() int64 { return d.trailing }
+
+// DecoderState is a serializable snapshot of a Decoder mid-stream, part
+// of the profiling service's session hand-off wire format: the receiving
+// shard must resume word reassembly at the exact byte the old owner
+// stopped at, or a float64 split across the hand-off boundary would be
+// decoded wrong (or twice). A poisoned decoder has no state — sessions
+// that failed to decode are not handed off.
+type DecoderState struct {
+	Raw        bool    `json:"raw"`
+	Hdr        []byte  `json:"hdr,omitempty"`
+	HdrDone    bool    `json:"hdr_done"`
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	ClockHz    float64 `json:"clock_hz,omitempty"`
+	Declared   int64   `json:"declared,omitempty"`
+	Partial    []byte  `json:"partial,omitempty"`
+	Emitted    int64   `json:"emitted"`
+	Trailing   int64   `json:"trailing,omitempty"`
+}
+
+// State snapshots the decoder. It must not be called on a poisoned
+// decoder (one whose Feed has returned an error).
+func (d *Decoder) State() (DecoderState, error) {
+	if d.err != nil {
+		return DecoderState{}, fmt.Errorf("em: cannot snapshot poisoned decoder: %w", d.err)
+	}
+	return DecoderState{
+		Raw:        d.raw,
+		Hdr:        append([]byte(nil), d.hdr...),
+		HdrDone:    d.hdrDone,
+		SampleRate: d.sampleRate,
+		ClockHz:    d.clockHz,
+		Declared:   d.declared,
+		Partial:    append([]byte(nil), d.partial[:d.np]...),
+		Emitted:    d.emitted,
+		Trailing:   d.trailing,
+	}, nil
+}
+
+// RestoreDecoder rebuilds a decoder from a snapshot; feeding the
+// remaining stream bytes continues bit-identically to the exporting
+// instance.
+func RestoreDecoder(st DecoderState) (*Decoder, error) {
+	if len(st.Partial) >= 8 {
+		return nil, fmt.Errorf("em: decoder state with %d-byte word fragment", len(st.Partial))
+	}
+	if st.Emitted < 0 || st.Trailing < 0 {
+		return nil, fmt.Errorf("em: decoder state with negative counters")
+	}
+	if !st.Raw {
+		if len(st.Hdr) > headerSize {
+			return nil, fmt.Errorf("em: decoder state header overflows (%d bytes)", len(st.Hdr))
+		}
+		if st.HdrDone && len(st.Hdr) != headerSize {
+			return nil, fmt.Errorf("em: decoder state header incomplete (%d bytes)", len(st.Hdr))
+		}
+		if st.Declared < 0 || st.Declared > MaxDeclaredSamples {
+			return nil, fmt.Errorf("em: implausible sample count %d", st.Declared)
+		}
+		if st.HdrDone && st.Emitted > st.Declared {
+			return nil, fmt.Errorf("em: decoder state emitted %d beyond declared %d", st.Emitted, st.Declared)
+		}
+	}
+	d := &Decoder{
+		raw:        st.Raw,
+		hdr:        make([]byte, 0, headerSize),
+		hdrDone:    st.HdrDone,
+		sampleRate: st.SampleRate,
+		clockHz:    st.ClockHz,
+		declared:   st.Declared,
+		emitted:    st.Emitted,
+		trailing:   st.Trailing,
+	}
+	d.hdr = append(d.hdr, st.Hdr...)
+	d.np = copy(d.partial[:], st.Partial)
+	return d, nil
+}
 
 // readChunk sizes ReadCapture's transfer buffer (64 KiB).
 const readChunk = 64 * 1024

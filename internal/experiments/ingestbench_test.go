@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIngestBenchSmall runs the fleet load harness at test scale with a
+// forced rebalance: it must complete every session, verify the
+// no-loss/no-double-ingest invariants internally, and produce sane
+// statistics; the baseline round-trips through JSON and self-compares
+// clean.
+func TestIngestBenchSmall(t *testing.T) {
+	var metrics strings.Builder
+	rep, err := RunIngestBench(IngestBenchOptions{
+		Shards:            2,
+		Sessions:          4,
+		SamplesPerSession: 30000,
+		ChunkSamples:      4000,
+		Rebalance:         true,
+		MetricsTo:         &metrics,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Rebalanced {
+		t.Fatal("forced rebalance did not run")
+	}
+	if rep.Ingest.Count != 4*8 {
+		t.Fatalf("ingest count %d, want %d pushes", rep.Ingest.Count, 4*8)
+	}
+	if rep.Snapshot.Count == 0 || rep.SamplesPerSecPerShard <= 0 {
+		t.Fatalf("empty stats: %+v", rep)
+	}
+	if rep.Ingest.P50Ms > rep.Ingest.P99Ms || rep.Ingest.P99Ms > rep.Ingest.MaxMs {
+		t.Fatalf("non-monotone percentiles: %+v", rep.Ingest)
+	}
+	for _, series := range []string{
+		"emprofd_samples_ingested_total 120000",
+		"emprofd_fleet_sessions_moved_total",
+		"emprofd_fleet_shards 3",
+	} {
+		if !strings.Contains(metrics.String(), series) {
+			t.Fatalf("fleet metrics excerpt missing %q:\n%s", series, metrics.String())
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_ingest.json")
+	if err := WriteIngestBench(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadIngestBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareIngestBench(rep, base, GateOptions{}, io.Discard); err != nil {
+		t.Fatalf("self-compare regressed: %v", err)
+	}
+
+	// A run far above baseline trips the gate.
+	slow := *rep
+	slow.Ingest.P99Ms = base.Ingest.P99Ms*10 + 100
+	if err := CompareIngestBench(&slow, base, GateOptions{}, io.Discard); err == nil {
+		t.Fatal("10x latency regression passed the gate")
+	}
+	starved := *rep
+	starved.SamplesPerSecPerShard = base.SamplesPerSecPerShard / 10
+	if err := CompareIngestBench(&starved, base, GateOptions{}, io.Discard); err == nil {
+		t.Fatal("10x throughput collapse passed the gate")
+	}
+}

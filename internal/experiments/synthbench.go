@@ -346,6 +346,12 @@ type GateOptions struct {
 	// AllocFloor is the absolute allocs_per_op slack (default 64), so
 	// single-digit baselines tolerate a few incidental allocations.
 	AllocFloor float64
+	// LatencyFloorMs is the absolute slack for the fleet ingest gate
+	// (CompareIngestBench): a latency metric only regresses when it
+	// exceeds baseline*MaxRatio + floor. Sub-millisecond baselines flip
+	// large ratios from scheduler jitter alone; the floor (default 2 ms)
+	// keeps those from tripping the gate. Set negative to disable.
+	LatencyFloorMs float64
 }
 
 func (o GateOptions) withDefaults() GateOptions {
@@ -364,6 +370,11 @@ func (o GateOptions) withDefaults() GateOptions {
 		o.AllocFloor = 64
 	} else if o.AllocFloor < 0 {
 		o.AllocFloor = 0
+	}
+	if o.LatencyFloorMs == 0 {
+		o.LatencyFloorMs = 2
+	} else if o.LatencyFloorMs < 0 {
+		o.LatencyFloorMs = 0
 	}
 	return o
 }

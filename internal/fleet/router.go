@@ -1,0 +1,654 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emprof/internal/service"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards is the initial shard membership: emprofd base URLs, e.g.
+	// "http://10.0.0.1:7979". Membership can change at runtime via
+	// AddShard/RemoveShard (or the /v1/fleet/shards admin routes), which
+	// trigger live session hand-off.
+	Shards []string
+	// VirtualNodes is the per-shard ring point count; <= 0 means
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// Seed remixes the ring's hash space. Every router replica in front
+	// of the same fleet must use the same seed.
+	Seed uint64
+	// HTTPClient issues shard requests; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// HealthInterval spaces the shard health probes started by Start;
+	// <= 0 means 2 seconds.
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive probe failures mark a shard
+	// down; <= 0 means 3. A down shard answers 502 for its sessions
+	// (clients retry) until a probe succeeds again; it is NOT removed
+	// from the ring — hand-off needs the source alive, so membership
+	// changes are always explicit.
+	FailThreshold int
+	// ProbeTimeout bounds one health probe; <= 0 means 1 second.
+	ProbeTimeout time.Duration
+}
+
+// Router is the stateless front of an emprofd fleet. All per-session
+// state lives on the shards; the router only holds the ring, the health
+// table, and a small override map for sessions stranded by a failed
+// hand-off. Kill a router and start another with the same shard list
+// and seed: every session routes identically.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	mu        sync.RWMutex
+	ring      *Ring
+	health    map[string]*shardHealth
+	overrides map[string]string // session ID -> shard, for failed moves
+
+	// rebalanceMu serializes membership changes; hand-off is incremental
+	// and two concurrent rebalances would race pin/forget.
+	rebalanceMu sync.Mutex
+
+	sessionsMoved  atomic.Int64
+	movesFailed    atomic.Int64
+	proxiedTotal   atomic.Int64
+	proxyErrors    atomic.Int64
+	sessionsRouted atomic.Int64
+}
+
+type shardHealth struct {
+	fails int
+	down  bool
+}
+
+// NewRouter builds a router over the configured shards.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("fleet: router needs at least one shard")
+	}
+	for _, s := range cfg.Shards {
+		if !strings.HasPrefix(s, "http://") && !strings.HasPrefix(s, "https://") {
+			return nil, fmt.Errorf("fleet: shard %q is not an http(s) URL", s)
+		}
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	rt := &Router{
+		cfg:       cfg,
+		client:    cfg.HTTPClient,
+		ring:      NewRing(cfg.Shards, cfg.VirtualNodes, cfg.Seed),
+		health:    make(map[string]*shardHealth),
+		overrides: make(map[string]string),
+	}
+	if rt.client == nil {
+		rt.client = http.DefaultClient
+	}
+	for _, s := range rt.ring.Shards() {
+		rt.health[s] = &shardHealth{}
+	}
+	return rt, nil
+}
+
+// Ring returns the current ring (immutable; swapped atomically on
+// membership change).
+func (rt *Router) Ring() *Ring {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring
+}
+
+// Start launches the health-probe loop and returns a stop function.
+func (rt *Router) Start() (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(rt.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				rt.ProbeShards()
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// ProbeShards runs one health-check round: GET /v1/sessions on every
+// member; FailThreshold consecutive failures mark a shard down, one
+// success marks it up.
+func (rt *Router) ProbeShards() {
+	for _, s := range rt.Ring().Shards() {
+		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, s+"/v1/sessions", nil)
+		ok := false
+		if err == nil {
+			resp, derr := rt.client.Do(req)
+			if derr == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+				ok = resp.StatusCode < 500
+			}
+		}
+		cancel()
+		rt.noteProbe(s, ok)
+	}
+}
+
+func (rt *Router) noteProbe(shard string, ok bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h := rt.health[shard]
+	if h == nil {
+		return // raced a membership change
+	}
+	if ok {
+		h.fails = 0
+		h.down = false
+		return
+	}
+	h.fails++
+	if h.fails >= rt.cfg.FailThreshold {
+		h.down = true
+	}
+}
+
+func (rt *Router) isDown(shard string) bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	h := rt.health[shard]
+	return h != nil && h.down
+}
+
+// owner resolves a session ID to its shard: the override table first
+// (sessions stranded where the ring no longer points by a failed
+// hand-off), then the ring.
+func (rt *Router) owner(id string) string {
+	rt.mu.RLock()
+	if s, ok := rt.overrides[id]; ok {
+		rt.mu.RUnlock()
+		return s
+	}
+	ring := rt.ring
+	rt.mu.RUnlock()
+	return ring.Owner(id)
+}
+
+func (rt *Router) dropOverride(id string) {
+	rt.mu.Lock()
+	delete(rt.overrides, id)
+	rt.mu.Unlock()
+}
+
+// newFleetID mirrors the service's session IDs: 128-bit random hex. The
+// router must assign IDs itself — ownership is computed from the ID, so
+// it has to exist before any shard is picked.
+func newFleetID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("fleet: rand: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Handler returns the router's HTTP surface: the emprofd session API
+// (proxied per-session, aggregated fleet-wide) plus the /v1/fleet admin
+// routes. Paths mirror the shard surface so emprof.Client works
+// unchanged against a router.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /sessions", rt.handleCreate},
+		{"GET /sessions", rt.handleList},
+		{"POST /sessions/{id}/samples", rt.handleSession},
+		{"GET /sessions/{id}/profile", rt.handleSession},
+		{"GET /sessions/{id}/trace", rt.handleSession},
+		{"DELETE /sessions/{id}", rt.handleFinalize},
+		{"GET /metrics", rt.handleMetrics},
+		{"GET /fleet", rt.handleFleetStatus},
+		{"POST /fleet/shards", rt.handleAddShard},
+		{"POST /fleet/shards/remove", rt.handleRemoveShard},
+	}
+	for _, r := range routes {
+		method, path, _ := strings.Cut(r.pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, r.h)
+		mux.HandleFunc(r.pattern, r.h)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, a ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, a...)})
+}
+
+// proxy forwards one request to a shard verbatim (path, query, headers —
+// including the idempotency offset tag — and body) and relays the
+// response. Shard trouble surfaces as 502, which emprof.Client retries.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard string) {
+	rt.proxiedTotal.Add(1)
+	if rt.isDown(shard) {
+		rt.proxyErrors.Add(1)
+		writeError(w, http.StatusBadGateway, "fleet: shard %s marked down", shard)
+		return
+	}
+	url := shard + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "fleet: %v", err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.ContentLength = r.ContentLength
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.proxyErrors.Add(1)
+		writeError(w, http.StatusBadGateway, "fleet: shard %s unreachable: %v", shard, err)
+		return
+	}
+	relay(w, resp)
+}
+
+// forward reissues a request against a shard with a replayable buffered
+// body and returns the shard's response.
+func (rt *Router) forward(r *http.Request, shard string, body []byte) (*http.Response, error) {
+	url := shard + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	req.ContentLength = int64(len(body))
+	return rt.client.Do(req)
+}
+
+// relay copies a shard response — status, headers, body — to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req service.CreateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "fleet: bad create body: %v", err)
+		return
+	}
+	if req.ID == "" {
+		req.ID = newFleetID()
+	}
+	owner := rt.Ring().Owner(req.ID)
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "fleet: %v", err)
+		return
+	}
+	rt.sessionsRouted.Add(1)
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	rt.proxy(w, r2, owner)
+}
+
+// maxSessionBody bounds the buffered copy of a proxied session request
+// kept for ownership-race replay.
+const maxSessionBody = 256 << 20
+
+// proxySession forwards a per-session route to its owner. The body is
+// buffered so the request can be replayed: a hand-off can land between
+// owner resolution and delivery — the request reaches the old shard
+// after Forget and draws a 404 even though the session is alive on its
+// new owner — so a 404 re-resolves ownership and retries once if it
+// moved. A genuine unknown session resolves to the same owner twice and
+// the 404 is relayed as-is.
+func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request, id string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSessionBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "fleet: reading body: %v", err)
+		return
+	}
+	rt.proxiedTotal.Add(1)
+	shard := rt.owner(id)
+	if rt.isDown(shard) {
+		rt.proxyErrors.Add(1)
+		writeError(w, http.StatusBadGateway, "fleet: shard %s marked down", shard)
+		return
+	}
+	resp, err := rt.forward(r, shard, body)
+	if err != nil {
+		rt.proxyErrors.Add(1)
+		writeError(w, http.StatusBadGateway, "fleet: shard %s unreachable: %v", shard, err)
+		return
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		if again := rt.owner(id); again != shard && !rt.isDown(again) {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			resp, err = rt.forward(r, again, body)
+			if err != nil {
+				rt.proxyErrors.Add(1)
+				writeError(w, http.StatusBadGateway, "fleet: shard %s unreachable: %v", again, err)
+				return
+			}
+		}
+	}
+	relay(w, resp)
+}
+
+func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
+	rt.proxySession(w, r, r.PathValue("id"))
+}
+
+func (rt *Router) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.proxySession(w, r, id)
+	rt.dropOverride(id) // finalized (or gone): the exception is over
+}
+
+// handleList fans GET /v1/sessions out to every shard and merges the
+// results into one fleet-wide view, sorted by creation time. Down
+// shards are skipped (their sessions are unreachable anyway).
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	type res struct {
+		infos []service.SessionInfo
+		err   error
+	}
+	shards := rt.Ring().Shards()
+	out := make([]res, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		if rt.isDown(s) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s string) {
+			defer wg.Done()
+			out[i].infos, out[i].err = rt.listShard(r.Context(), s)
+		}(i, s)
+	}
+	wg.Wait()
+	var all []service.SessionInfo
+	for i := range out {
+		if out[i].err != nil {
+			writeError(w, http.StatusBadGateway, "fleet: listing %s: %v", shards[i], out[i].err)
+			return
+		}
+		all = append(all, out[i].infos...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].CreatedAt.Equal(all[j].CreatedAt) {
+			return all[i].CreatedAt.Before(all[j].CreatedAt)
+		}
+		return all[i].ID < all[j].ID
+	})
+	if all == nil {
+		all = []service.SessionInfo{}
+	}
+	writeJSON(w, http.StatusOK, all)
+}
+
+func (rt *Router) listShard(ctx context.Context, shard string) ([]service.SessionInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/v1/sessions", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var infos []service.SessionInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// ShardStatus is one row of the fleet status document.
+type ShardStatus struct {
+	URL  string `json:"url"`
+	Down bool   `json:"down"`
+}
+
+// FleetStatus is the GET /v1/fleet reply.
+type FleetStatus struct {
+	Shards        []ShardStatus `json:"shards"`
+	SessionsMoved int64         `json:"sessions_moved"`
+	MovesFailed   int64         `json:"moves_failed"`
+}
+
+func (rt *Router) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	st := FleetStatus{
+		SessionsMoved: rt.sessionsMoved.Load(),
+		MovesFailed:   rt.movesFailed.Load(),
+	}
+	for _, s := range rt.Ring().Shards() {
+		st.Shards = append(st.Shards, ShardStatus{URL: s, Down: rt.isDown(s)})
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// ShardRequest is the body of the membership admin routes.
+type ShardRequest struct {
+	URL string `json:"url"`
+}
+
+func (rt *Router) handleAddShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "fleet: bad shard body: %v", err)
+		return
+	}
+	if err := rt.AddShard(req.URL); err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	rt.handleFleetStatus(w, r)
+}
+
+func (rt *Router) handleRemoveShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "fleet: bad shard body: %v", err)
+		return
+	}
+	if err := rt.RemoveShard(req.URL); err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	rt.handleFleetStatus(w, r)
+}
+
+// handleMetrics aggregates /metrics across the fleet: counters and
+// gauges with the same series identity are summed (sessions active,
+// samples ingested, stalls detected — all meaningful fleet-wide), then
+// the router appends its own emprofd_fleet_* series, including a
+// per-shard liveness gauge and each shard's active-session count.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	shards := rt.Ring().Shards()
+	bodies := make([]string, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		if rt.isDown(s) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, s+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			bodies[i] = string(b)
+		}(i, s)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	perShardActive := writeAggregated(w, bodies)
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("emprofd_fleet_shards", "Shards in the ring.", int64(len(shards)))
+	var down int64
+	for _, s := range shards {
+		if rt.isDown(s) {
+			down++
+		}
+	}
+	gauge("emprofd_fleet_shards_down", "Shards currently marked down.", down)
+	counter("emprofd_fleet_sessions_moved_total", "Sessions handed off between shards by rebalancing.", rt.sessionsMoved.Load())
+	counter("emprofd_fleet_moves_failed_total", "Session hand-offs that failed and were rolled back.", rt.movesFailed.Load())
+	counter("emprofd_fleet_proxied_requests_total", "Per-session requests proxied to shards.", rt.proxiedTotal.Load())
+	counter("emprofd_fleet_proxy_errors_total", "Proxied requests that failed to reach their shard.", rt.proxyErrors.Load())
+	fmt.Fprintf(w, "# HELP emprofd_fleet_shard_up Shard liveness, by shard.\n# TYPE emprofd_fleet_shard_up gauge\n")
+	for _, s := range shards {
+		up := 1
+		if rt.isDown(s) {
+			up = 0
+		}
+		fmt.Fprintf(w, "emprofd_fleet_shard_up{shard=%q} %d\n", s, up)
+	}
+	fmt.Fprintf(w, "# HELP emprofd_fleet_shard_sessions_active Open sessions, by shard.\n# TYPE emprofd_fleet_shard_sessions_active gauge\n")
+	for i, s := range shards {
+		fmt.Fprintf(w, "emprofd_fleet_shard_sessions_active{shard=%q} %d\n", s, perShardActive[i])
+	}
+}
+
+// writeAggregated merges Prometheus text expositions by summing series
+// with identical identity (name + labels), preserving first-seen order
+// and each series' first HELP/TYPE comments. It returns every shard's
+// emprofd_sessions_active reading for the per-shard gauge.
+func writeAggregated(w io.Writer, bodies []string) []int64 {
+	type series struct {
+		comments []string
+		sum      float64
+	}
+	var order []string
+	bySeries := map[string]*series{}
+	commentsSeen := map[string]bool{} // metric name -> comments captured
+	perShardActive := make([]int64, len(bodies))
+
+	for i, body := range bodies {
+		var pending []string
+		for _, line := range strings.Split(body, "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				pending = append(pending, line)
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp <= 0 {
+				pending = nil
+				continue
+			}
+			key, valStr := line[:sp], line[sp+1:]
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				pending = nil
+				continue
+			}
+			name := key
+			if j := strings.IndexByte(name, '{'); j >= 0 {
+				name = name[:j]
+			}
+			if name == "emprofd_sessions_active" {
+				perShardActive[i] = int64(v)
+			}
+			s := bySeries[key]
+			if s == nil {
+				s = &series{}
+				if !commentsSeen[name] {
+					commentsSeen[name] = true
+					s.comments = pending
+				}
+				bySeries[key] = s
+				order = append(order, key)
+			}
+			s.sum += v
+			pending = nil
+		}
+	}
+	for _, key := range order {
+		s := bySeries[key]
+		for _, c := range s.comments {
+			fmt.Fprintln(w, c)
+		}
+		fmt.Fprintf(w, "%s %s\n", key, formatSample(s.sum))
+	}
+	return perShardActive
+}
+
+// formatSample renders an aggregated sample: integral values (the
+// common case — counters and gauges are int64 on the shards) print as
+// integers so the output stays grep-able; anything else falls back to
+// shortest float form.
+func formatSample(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

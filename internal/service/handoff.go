@@ -1,0 +1,194 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"emprof/internal/core"
+	"emprof/internal/em"
+)
+
+// This file implements the shard side of fleet session hand-off. The
+// protocol, driven by the router (internal/fleet), is:
+//
+//	1. Pin(id) on the current owner — ingest/snapshot/finalize start
+//	   answering 503 (ErrPinned), which clients retry; no sample can
+//	   land while the state is in flight.
+//	2. Export(id) on the owner — the complete session state (analyzer,
+//	   wire decoder, metadata) as one JSON document.
+//	3. Import(state) on the new owner — the session resumes replay-free;
+//	   pushing the remaining samples yields a profile bit-identical to
+//	   one shard having seen the whole stream.
+//	4. Forget(id) on the old owner — the moved session is dropped
+//	   without finalizing. On any failure the router calls Unpin(id)
+//	   instead and the session keeps serving where it was.
+//
+// Per-session decision-trace rings deliberately do not travel: they are
+// debugging state, unbounded-ish, and the new owner starts a fresh ring.
+
+// SessionState is the hand-off wire format: everything a shard needs to
+// resume a live session another shard started.
+type SessionState struct {
+	ID         string    `json:"id"`
+	Device     string    `json:"device,omitempty"`
+	SampleRate float64   `json:"sample_rate"`
+	ClockHz    float64   `json:"clock_hz"`
+	Created    time.Time `json:"created_at"`
+	Bytes      int64     `json:"bytes_ingested"`
+
+	Stream *core.StreamState `json:"stream"`
+	// Decoder is nil when the session never ingested (no wire format
+	// chosen yet).
+	Decoder *em.DecoderState `json:"decoder,omitempty"`
+}
+
+// Pin freezes a session for hand-off: until Unpin (or Forget), ingest,
+// snapshot and finalize answer ErrPinned. Pinning is idempotent.
+func (r *Registry) Pin(id string) error {
+	s, err := r.get(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalized {
+		return ErrNotFound
+	}
+	s.pinned = true
+	return nil
+}
+
+// Unpin lifts a hand-off pin after a failed move; the session resumes
+// serving on this shard.
+func (r *Registry) Unpin(id string) error {
+	s, err := r.get(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pinned = false
+	return nil
+}
+
+// Export snapshots a pinned session's complete state. The session must
+// be pinned first — exporting a live session would race its ingest — and
+// stays in the registry (still pinned) until Forget or Unpin.
+func (r *Registry) Export(id string) (*SessionState, error) {
+	s, err := r.get(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pinned {
+		return nil, fmt.Errorf("%w: session %q not pinned", ErrConflict, id)
+	}
+	if s.finalized {
+		return nil, ErrNotFound
+	}
+	if s.poison != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPoisoned, s.poison)
+	}
+	st := &SessionState{
+		ID:         s.id,
+		Device:     s.device,
+		SampleRate: s.sampleRate,
+		ClockHz:    s.clockHz,
+		Created:    s.created,
+		Bytes:      s.bytes,
+		Stream:     s.an.ExportState(),
+	}
+	if s.dec != nil {
+		ds, err := s.dec.State()
+		if err != nil {
+			return nil, err
+		}
+		st.Decoder = &ds
+	}
+	r.metrics.SessionsExported.Add(1)
+	return st, nil
+}
+
+// Import installs a session exported by another shard. The imported
+// session is live (not pinned) immediately; its analyzer resumes exactly
+// where the exporting shard stopped. ErrConflict if the ID already
+// exists here, ErrFull under the session cap.
+func (r *Registry) Import(st *SessionState) error {
+	if st == nil || st.Stream == nil {
+		return fmt.Errorf("service: import without stream state")
+	}
+	if err := validateSessionID(st.ID); err != nil {
+		return err
+	}
+	if st.ID == "" {
+		return fmt.Errorf("service: import without session ID")
+	}
+	if st.Bytes < 0 {
+		return fmt.Errorf("service: import with negative byte count")
+	}
+	an, err := core.ResumeStreamAnalyzer(st.Stream)
+	if err != nil {
+		return err
+	}
+	r.attachObservers(an)
+	var dec *em.Decoder
+	if st.Decoder != nil {
+		dec, err = em.RestoreDecoder(*st.Decoder)
+		if err != nil {
+			return err
+		}
+		if dec.Emitted() != an.Pushed() {
+			return fmt.Errorf("service: import decoder at sample %d but analyzer at %d", dec.Emitted(), an.Pushed())
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		r.metrics.SessionsRejected.Add(1)
+		return ErrFull
+	}
+	if _, ok := r.sessions[st.ID]; ok {
+		return fmt.Errorf("%w: session %q already exists", ErrConflict, st.ID)
+	}
+	now := r.cfg.Now()
+	created := st.Created
+	if created.IsZero() {
+		created = now
+	}
+	s := &session{
+		id:         st.ID,
+		device:     st.Device,
+		sampleRate: st.SampleRate,
+		clockHz:    st.ClockHz,
+		created:    created,
+		lastActive: now,
+		an:         an,
+		dec:        dec,
+		bytes:      st.Bytes,
+		ring:       r.newRing(an),
+	}
+	r.sessions[s.id] = s
+	r.metrics.SessionsImported.Add(1)
+	return nil
+}
+
+// Forget drops a session without finalizing it — the completion of a
+// hand-off, once the new owner has acknowledged the import. The profile
+// lives on at the importing shard.
+func (r *Registry) Forget(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if _, ok := r.sessions[id]; !ok {
+		return ErrNotFound
+	}
+	delete(r.sessions, id)
+	return nil
+}

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"emprof/internal/core"
+)
+
+// TestHandoffAcrossRegistries drives the full hand-off protocol over
+// HTTP between two independent shards: stream half a capture into shard
+// A, pin → export → import into shard B → forget, stream the rest into
+// B, and require B's final profile bit-identical to batch Analyze.
+func TestHandoffAcrossRegistries(t *testing.T) {
+	capture := testSignal(30000)
+	want := core.MustNewAnalyzer(core.DefaultConfig()).Profile(capture)
+
+	srvA, tsA := newTestServer(t, Config{})
+	srvB, tsB := newTestServer(t, Config{})
+	id := createSession(t, tsA, capture.SampleRate, capture.ClockHz)
+
+	enc := rawBytes(capture.Samples)
+	// A split point that is NOT 8-byte aligned relative to nothing — keep
+	// sample-aligned (clients push whole samples) but mid-stream.
+	half := (len(enc) / 2 / 8) * 8
+	if code, msg := postSamples(t, tsA, id, enc[:half], ContentTypeRaw); code != http.StatusOK {
+		t.Fatalf("ingest A: HTTP %d: %s", code, msg)
+	}
+
+	post := func(ts string, path string, body []byte) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	if code, msg := post(tsA.URL, "/v1/sessions/"+id+"/pin", nil); code != http.StatusOK {
+		t.Fatalf("pin: HTTP %d: %s", code, msg)
+	}
+	// Pinned: ingest and profile answer 503.
+	if code, _ := postSamples(t, tsA, id, enc[half:half+8], ContentTypeRaw); code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest while pinned: HTTP %d, want 503", code)
+	}
+	resp, err := http.Get(tsA.URL + "/v1/sessions/" + id + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("profile while pinned: HTTP %d, want 503", resp.StatusCode)
+	}
+
+	code, blob := post(tsA.URL, "/v1/sessions/"+id+"/export", nil)
+	if code != http.StatusOK {
+		t.Fatalf("export: HTTP %d: %s", code, blob)
+	}
+	if code, msg := post(tsB.URL, "/v1/sessions/import", blob); code != http.StatusCreated {
+		t.Fatalf("import: HTTP %d: %s", code, msg)
+	}
+	if code, msg := post(tsA.URL, "/v1/sessions/"+id+"/forget", nil); code != http.StatusOK {
+		t.Fatalf("forget: HTTP %d: %s", code, msg)
+	}
+	if n := srvA.Registry().ActiveSessions(); n != 0 {
+		t.Fatalf("old owner still holds %d sessions after forget", n)
+	}
+
+	if code, msg := postSamples(t, tsB, id, enc[half:], ContentTypeRaw); code != http.StatusOK {
+		t.Fatalf("ingest B: HTTP %d: %s", code, msg)
+	}
+	got, err := srvB.Registry().Finalize(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("handed-off profile differs from batch Analyze")
+	}
+
+	// Counters moved on both sides.
+	if srvA.Registry().Metrics().SessionsExported.Load() != 1 {
+		t.Fatal("export not counted")
+	}
+	if srvB.Registry().Metrics().SessionsImported.Load() != 1 {
+		t.Fatal("import not counted")
+	}
+}
+
+// TestHandoffGuards covers the protocol's refusal paths.
+func TestHandoffGuards(t *testing.T) {
+	capture := testSignal(4000)
+	srv, _ := newTestServer(t, Config{})
+	reg := srv.Registry()
+	id, err := reg.Create("", capture.SampleRate, capture.ClockHz, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Export without pin is a conflict.
+	if _, err := reg.Export(id); !errors.Is(err, ErrConflict) {
+		t.Fatalf("export unpinned: %v, want ErrConflict", err)
+	}
+	if err := reg.Pin(id); err != nil {
+		t.Fatal(err)
+	}
+	// Pin is idempotent; finalize on pinned is ErrPinned and keeps it.
+	if err := reg.Pin(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Finalize(id); !errors.Is(err, ErrPinned) {
+		t.Fatalf("finalize pinned: %v, want ErrPinned", err)
+	}
+	st, err := reg.Export(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Import back into the same registry collides with the live session.
+	if err := reg.Import(st); !errors.Is(err, ErrConflict) {
+		t.Fatalf("import over live session: %v, want ErrConflict", err)
+	}
+	// Unpin rolls the move back; the session serves again.
+	if err := reg.Unpin(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Snapshot(id); err != nil {
+		t.Fatalf("snapshot after unpin: %v", err)
+	}
+
+	// Malformed imports.
+	if err := reg.Import(nil); err == nil {
+		t.Fatal("nil import accepted")
+	}
+	if err := reg.Import(&SessionState{ID: "x"}); err == nil {
+		t.Fatal("import without stream state accepted")
+	}
+	bad := *st
+	bad.ID = ""
+	if err := reg.Import(&bad); err == nil {
+		t.Fatal("import without ID accepted")
+	}
+}
+
+// TestOffsetIdempotentPush proves the no-double-ingest property behind
+// push retries: re-sending a body (fully or partially ingested before)
+// with X-Emprof-Offset set skips the landed prefix.
+func TestOffsetIdempotentPush(t *testing.T) {
+	capture := testSignal(20000)
+	want := core.MustNewAnalyzer(core.DefaultConfig()).Profile(capture)
+	srv, ts := newTestServer(t, Config{})
+	id := createSession(t, ts, capture.SampleRate, capture.ClockHz)
+	enc := rawBytes(capture.Samples)
+	half := (len(enc) / 2 / 8) * 8
+
+	push := func(body []byte, offset int64) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/sessions/"+id+"/samples", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ContentTypeRaw)
+		req.Header.Set(HeaderOffset, fmt.Sprint(offset))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, msg := push(enc[:half], 0); code != http.StatusOK {
+		t.Fatalf("push 1: HTTP %d: %s", code, msg)
+	}
+	// Retry the exact same push (lost-response scenario): a full skip.
+	code, msg := push(enc[:half], 0)
+	if code != http.StatusOK {
+		t.Fatalf("retried push: HTTP %d: %s", code, msg)
+	}
+	var res IngestResult
+	if err := json.Unmarshal([]byte(msg), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesIngested != int64(half/8) {
+		t.Fatalf("retry double-ingested: %d samples, want %d", res.SamplesIngested, half/8)
+	}
+	// Overlapping retry: body covers [quarter, end), half already landed.
+	quarter := (half / 2 / 8) * 8
+	if code, msg := push(enc[quarter:], int64(quarter/8)); code != http.StatusOK {
+		t.Fatalf("overlapping push: HTTP %d: %s", code, msg)
+	}
+	// A gap is a conflict, not silently accepted.
+	if code, _ := push(enc[:8], int64(len(enc)/8+5)); code != http.StatusConflict {
+		t.Fatalf("gapped push: HTTP %d, want 409", code)
+	}
+
+	got, err := srv.Registry().Finalize(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("offset-deduplicated stream diverged from batch Analyze")
+	}
+}
+
+// TestClientAssignedID covers router-style session creation.
+func TestClientAssignedID(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(CreateRequest{SampleRate: 40e6, ClockHz: 1e9, ID: "fleet-abc123"})
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr CreateResponse
+	json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || cr.ID != "fleet-abc123" {
+		t.Fatalf("create with ID: HTTP %d, id %q", resp.StatusCode, cr.ID)
+	}
+	// Duplicate is 409.
+	resp, err = http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate ID: HTTP %d, want 409", resp.StatusCode)
+	}
+	// Hostile IDs are rejected before touching the registry.
+	if _, err := srv.Registry().CreateWithID("a/b", "", 40e6, 1e9, core.DefaultConfig()); err == nil {
+		t.Fatal("ID with slash accepted")
+	}
+}

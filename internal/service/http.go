@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -83,6 +84,13 @@ func (s *Server) Handler() http.Handler {
 		{"GET /sessions/{id}/trace", "trace", s.handleTrace},
 		{"DELETE /sessions/{id}", "finalize", s.handleFinalize},
 		{"GET /metrics", "metrics", s.handleMetrics},
+		// Hand-off protocol (fleet-internal; see handoff.go for the state
+		// machine the router drives).
+		{"POST /sessions/{id}/pin", "pin", s.handlePin},
+		{"POST /sessions/{id}/unpin", "unpin", s.handleUnpin},
+		{"POST /sessions/{id}/export", "export", s.handleExport},
+		{"POST /sessions/{id}/forget", "forget", s.handleForget},
+		{"POST /sessions/import", "import", s.handleImport},
 	}
 	for _, rt := range routes {
 		method, path, _ := strings.Cut(rt.pattern, " ")
@@ -140,10 +148,12 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrFull), errors.Is(err, ErrBudget):
 		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrPinned):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		code = http.StatusConflict
 	}
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
@@ -159,6 +169,10 @@ type CreateRequest struct {
 	// Config optionally overrides the profiler configuration; omitted
 	// means core.DefaultConfig.
 	Config *core.Config `json:"config,omitempty"`
+	// ID optionally assigns the session ID client-side. The fleet router
+	// uses this so a session's owning shard is computable from its ID
+	// alone; ordinary clients leave it empty (server-assigned).
+	ID string `json:"id,omitempty"`
 }
 
 // CreateResponse is the POST /v1/sessions reply.
@@ -179,7 +193,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
-	id, err := s.reg.Create(req.Device, req.SampleRate, req.ClockHz, cfg)
+	id, err := s.reg.CreateWithID(req.ID, req.Device, req.SampleRate, req.ClockHz, cfg)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -219,6 +233,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeCapture) {
 		format = formatCapture
 	}
+	offset := int64(-1)
+	if h := r.Header.Get(HeaderOffset); h != "" {
+		v, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil || v < 0 {
+			writeErr(w, fmt.Errorf("service: bad %s header %q", HeaderOffset, h))
+			return
+		}
+		offset = v
+	}
 	buf := make([]byte, ingestChunk)
 	next := func() ([]byte, error) {
 		n, rerr := io.ReadFull(r.Body, buf)
@@ -227,12 +250,69 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		return buf[:n], rerr
 	}
-	res, err := s.reg.ingest(sess, format, r.ContentLength, next)
+	res, err := s.reg.ingest(sess, format, r.ContentLength, offset, next)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// HeaderOffset is the ingest request header carrying the session-stream
+// sample index of the body's first sample (raw format only). Offset-
+// tagged pushes are idempotent: a retry whose predecessor partially (or
+// fully, with the response lost) landed skips the already-ingested
+// prefix instead of double-counting it.
+const HeaderOffset = "X-Emprof-Offset"
+
+func (s *Server) handlePin(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Pin(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleUnpin(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Unpin(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	st, err := s.reg.Export(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleForget(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Forget(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// maxImportBody bounds a hand-off import body (64 MiB: analyzer state is
+// a few windows of float64s plus the stall list; far below this).
+const maxImportBody = 64 << 20
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	var st SessionState
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxImportBody)).Decode(&st); err != nil {
+		writeErr(w, fmt.Errorf("service: bad import body: %w", err))
+		return
+	}
+	if err := s.reg.Import(&st); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, struct{}{})
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {

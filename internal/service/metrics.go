@@ -19,6 +19,8 @@ type Metrics struct {
 	SessionsFinalized atomic.Int64
 	SessionsGC        atomic.Int64
 	SessionsRejected  atomic.Int64
+	SessionsExported  atomic.Int64
+	SessionsImported  atomic.Int64
 	SamplesIngested   atomic.Int64
 	IngestBytes       atomic.Int64
 	StallsDetected    atomic.Int64
@@ -81,6 +83,8 @@ func (m *Metrics) WriteTo(w io.Writer, activeSessions int) {
 	counter("emprofd_sessions_finalized_total", "Sessions finalized by clients or shutdown.", m.SessionsFinalized.Load())
 	counter("emprofd_sessions_gc_total", "Idle sessions collected by the TTL sweeper.", m.SessionsGC.Load())
 	counter("emprofd_sessions_rejected_total", "Session creates rejected by the max-session cap.", m.SessionsRejected.Load())
+	counter("emprofd_sessions_exported_total", "Sessions exported for hand-off to another shard.", m.SessionsExported.Load())
+	counter("emprofd_sessions_imported_total", "Sessions imported mid-stream from another shard.", m.SessionsImported.Load())
 	counter("emprofd_samples_ingested_total", "EM samples decoded into analyzers.", m.SamplesIngested.Load())
 	counter("emprofd_ingest_bytes_total", "Capture bytes accepted for ingest.", m.IngestBytes.Load())
 	counter("emprofd_stalls_detected_total", "LLC-miss stalls detected across all sessions.", m.StallsDetected.Load())

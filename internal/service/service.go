@@ -105,6 +105,14 @@ var (
 	// ErrPoisoned is returned when ingesting into a session whose stream
 	// previously failed to decode (HTTP 400).
 	ErrPoisoned = errors.New("service: session stream previously failed")
+	// ErrPinned is returned while a session is pinned for hand-off to
+	// another shard (HTTP 503: transient, retry — the router will direct
+	// the retry to the new owner once the move completes).
+	ErrPinned = errors.New("service: session pinned for hand-off")
+	// ErrConflict is returned when a request contradicts session state: a
+	// client-assigned session ID that already exists, or a push offset
+	// beyond the ingested stream (HTTP 409: not retryable as-is).
+	ErrConflict = errors.New("service: conflicting session state")
 )
 
 // session is one live profiling stream.
@@ -123,6 +131,10 @@ type session struct {
 	finalized  bool
 	final      *core.Profile
 	poison     error // first decode error; the session rejects further ingest
+	// pinned marks the session frozen for hand-off: ingest, snapshot and
+	// finalize answer ErrPinned (503) until the move completes, so no
+	// sample can land on two shards.
+	pinned bool
 	// ring retains the session's most recent analyzer decision events
 	// (GET /v1/sessions/{id}/trace); nil when per-session tracing is
 	// disabled. The ring is internally synchronised.
@@ -183,6 +195,17 @@ func newSessionID() string {
 // Create opens a new session wrapping a streaming analyzer for a signal
 // with the given acquisition metadata.
 func (r *Registry) Create(device string, sampleRate, clockHz float64, cfg core.Config) (string, error) {
+	return r.CreateWithID("", device, sampleRate, clockHz, cfg)
+}
+
+// CreateWithID opens a session under a client-assigned ID — the fleet
+// router assigns IDs itself so that any node can recompute a session's
+// owning shard from the ID alone. An empty id means server-assigned
+// (Create). A duplicate ID is ErrConflict.
+func (r *Registry) CreateWithID(id, device string, sampleRate, clockHz float64, cfg core.Config) (string, error) {
+	if err := validateSessionID(id); err != nil {
+		return "", err
+	}
 	if !(sampleRate > 0) || !(clockHz > 0) {
 		return "", fmt.Errorf("service: invalid acquisition metadata rate=%v clock=%v", sampleRate, clockHz)
 	}
@@ -190,21 +213,7 @@ func (r *Registry) Create(device string, sampleRate, clockHz float64, cfg core.C
 	if err != nil {
 		return "", err
 	}
-	an.OnStall = func(core.Stall) { r.metrics.StallsDetected.Add(1) }
-	// Every session's analyzer feeds the shared trace aggregator; the
-	// per-session ring additionally retains recent events for the trace
-	// endpoint unless disabled. Observers are assembled as interfaces
-	// (never typed-nil pointers) so Multi can drop absent ones.
-	var sinks []trace.Observer
-	var ring *trace.Ring
-	if r.cfg.TraceRing > 0 {
-		ring = trace.NewRing(r.cfg.TraceRing)
-		sinks = append(sinks, ring)
-	}
-	if r.metrics.Trace != nil {
-		sinks = append(sinks, r.metrics.Trace)
-	}
-	an.SetObserver(trace.Multi(sinks...))
+	r.attachObservers(an)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -215,20 +224,65 @@ func (r *Registry) Create(device string, sampleRate, clockHz float64, cfg core.C
 		r.metrics.SessionsRejected.Add(1)
 		return "", ErrFull
 	}
+	if id == "" {
+		id = newSessionID()
+	} else if _, ok := r.sessions[id]; ok {
+		return "", fmt.Errorf("%w: session %q already exists", ErrConflict, id)
+	}
 	now := r.cfg.Now()
 	s := &session{
-		id:         newSessionID(),
+		id:         id,
 		device:     device,
 		sampleRate: sampleRate,
 		clockHz:    clockHz,
 		created:    now,
 		lastActive: now,
 		an:         an,
-		ring:       ring,
+		ring:       r.newRing(an),
 	}
 	r.sessions[s.id] = s
 	r.metrics.SessionsTotal.Add(1)
 	return s.id, nil
+}
+
+// validateSessionID bounds client-assigned IDs; empty means
+// server-assigned and is always fine.
+func validateSessionID(id string) error {
+	if len(id) > 128 {
+		return fmt.Errorf("service: session ID longer than 128 bytes")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '/' {
+			return fmt.Errorf("service: session ID contains byte %q", c)
+		}
+	}
+	return nil
+}
+
+// attachObservers wires a session analyzer into the shared metrics: the
+// stall counter and the fleet-wide trace aggregator.
+func (r *Registry) attachObservers(an *core.StreamAnalyzer) {
+	an.OnStall = func(core.Stall) { r.metrics.StallsDetected.Add(1) }
+}
+
+// newRing assembles a session's decision-trace observers: the shared
+// trace aggregator plus, unless disabled, a per-session ring retaining
+// recent events for the trace endpoint. Observers are assembled as
+// interfaces (never typed-nil pointers) so Multi can drop absent ones.
+// It returns the ring (nil when disabled) after attaching the observer.
+func (r *Registry) newRing(an *core.StreamAnalyzer) *trace.Ring {
+	var sinks []trace.Observer
+	var ring *trace.Ring
+	if r.cfg.TraceRing > 0 {
+		ring = trace.NewRing(r.cfg.TraceRing)
+		sinks = append(sinks, ring)
+	}
+	if r.metrics.Trace != nil {
+		sinks = append(sinks, r.metrics.Trace)
+	}
+	an.SetObserver(trace.Multi(sinks...))
+	return ring
 }
 
 // get looks a session up.
@@ -270,14 +324,29 @@ const (
 // budget before anything is consumed, so a rejected request ingests
 // nothing and is safe to retry. Bodies without a declared length are
 // cut off mid-stream when the budget runs out.
-func (r *Registry) ingest(s *session, format wireFormat, declaredLen int64, next func() ([]byte, error)) (IngestResult, error) {
+//
+// offset, when >= 0, is the session-stream index of the body's first
+// sample (the X-Emprof-Offset header, raw format only): the portion of
+// the body the session has already decoded — a retry of a push whose
+// response was lost, or that died mid-body — is skipped instead of
+// re-ingested, which is what makes client retries on 429/502/503 safe
+// from double counting. An offset beyond the ingested stream is a
+// conflict: samples in between were lost for good and the profile can
+// no longer be trusted to match the capture.
+func (r *Registry) ingest(s *session, format wireFormat, declaredLen, offset int64, next func() ([]byte, error)) (IngestResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.finalized {
 		return IngestResult{}, ErrNotFound
 	}
+	if s.pinned {
+		return IngestResult{}, ErrPinned
+	}
 	if s.poison != nil {
 		return IngestResult{}, fmt.Errorf("%w: %v", ErrPoisoned, s.poison)
+	}
+	if offset >= 0 && format != formatRaw {
+		return IngestResult{}, fmt.Errorf("service: push offsets apply to raw-format ingest only")
 	}
 	if declaredLen >= 0 && s.bytes+declaredLen > r.cfg.MaxSessionBytes {
 		return IngestResult{}, ErrBudget
@@ -289,9 +358,30 @@ func (r *Registry) ingest(s *session, format wireFormat, declaredLen int64, next
 			s.dec = em.NewRawDecoder()
 		}
 	}
+	var skip int64
+	if offset >= 0 {
+		cur := s.dec.Emitted()
+		if offset > cur {
+			return r.ingestTotals(s), fmt.Errorf("%w: push offset %d beyond ingested stream (%d samples)", ErrConflict, offset, cur)
+		}
+		// The already-decoded prefix of this body is skipped below. Any
+		// half-assembled word left by an interrupted request is a prefix
+		// of sample cur, which this body resends whole: drop it so the
+		// resent bytes aren't appended to stale ones.
+		skip = (cur - offset) * 8
+		s.dec.DropFragment()
+	}
 	emit := func(v float64) { s.an.Push(v) }
 	for {
 		chunk, err := next()
+		if skip > 0 && len(chunk) > 0 {
+			n := int64(len(chunk))
+			if n > skip {
+				n = skip
+			}
+			chunk = chunk[n:]
+			skip -= n
+		}
 		if len(chunk) > 0 {
 			if s.bytes+int64(len(chunk)) > r.cfg.MaxSessionBytes {
 				return r.ingestTotals(s), ErrBudget
@@ -374,6 +464,9 @@ func (r *Registry) Snapshot(id string) (*Snapshot, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pinned {
+		return nil, ErrPinned
+	}
 	s.lastActive = r.cfg.Now()
 	return s.snapshotLocked(), nil
 }
@@ -459,14 +552,20 @@ func (r *Registry) Finalize(id string) (*core.Profile, error) {
 		return nil, ErrClosed
 	}
 	s, ok := r.sessions[id]
-	if ok {
-		delete(r.sessions, id)
-	}
-	r.mu.Unlock()
 	if !ok {
+		r.mu.Unlock()
 		return nil, ErrNotFound
 	}
+	// Lock order r.mu → s.mu, as in Sweep. A pinned session must stay in
+	// the registry: its state is mid-flight to another shard.
 	s.mu.Lock()
+	if s.pinned {
+		s.mu.Unlock()
+		r.mu.Unlock()
+		return nil, ErrPinned
+	}
+	delete(r.sessions, id)
+	r.mu.Unlock()
 	defer s.mu.Unlock()
 	s.finalizeLocked()
 	r.metrics.SessionsFinalized.Add(1)
@@ -506,6 +605,8 @@ func (r *Registry) List() []SessionInfo {
 		}
 		if s.finalized {
 			info.State = "finalized"
+		} else if s.pinned {
+			info.State = "pinned"
 		}
 		s.mu.Unlock()
 		out = append(out, info)
@@ -529,6 +630,9 @@ func (r *Registry) Sweep(now time.Time) int {
 	r.mu.Lock()
 	var idle []*session
 	for id, s := range r.sessions {
+		// Pinned sessions are swept too: a pin's lastActive is frozen, so
+		// one still idle a full TTL later is an orphan of a hand-off that
+		// never completed (router crash mid-move), not a live move.
 		s.mu.Lock()
 		stale := s.lastActive.Before(cutoff)
 		s.mu.Unlock()
