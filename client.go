@@ -53,13 +53,15 @@ type SessionSpec struct {
 //	                  for the idle TTL to collect), finalize, and
 //	                  offset-tagged pushes (idempotent by construction).
 //	retryBackpressure 429/502/503 response codes only — plain pushes.
-//	                  The service guarantees each of these is sent
-//	                  before ingesting anything (registry full, byte
-//	                  budget, shutting down, session pinned for
-//	                  hand-off, router shard unreachable), so the retry
+//	                  The service and router guarantee each of these is
+//	                  sent before ingesting anything (registry full,
+//	                  byte budget, shutting down, session pinned for
+//	                  hand-off, router shard marked down), so the retry
 //	                  can never double-count samples. Network errors and
-//	                  504 are NOT retried here: the body may have partly
-//	                  landed and an untagged retry cannot know how much.
+//	                  504 — the router's answer when a shard connection
+//	                  failed mid-request — are NOT retried here: the
+//	                  body may have partly landed and an untagged retry
+//	                  cannot know how much.
 //
 // StreamCapture tags every push with its stream offset
 // (service.HeaderOffset), making pushes idempotent server-side — the
@@ -129,7 +131,9 @@ const (
 	retryAll retryMode = iota
 	// retryBackpressure retries only statuses the service guarantees to
 	// send before ingesting anything: 429 (full/budget) and 502/503 (a
-	// router shard unreachable, or a session pinned mid-hand-off).
+	// router shard marked down — answered before any byte is forwarded
+	// — or a session pinned mid-hand-off). 504 (shard connection failed
+	// mid-request: partial ingest possible) is excluded.
 	retryBackpressure
 )
 

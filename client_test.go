@@ -292,6 +292,43 @@ func TestClientRetriesRouterStatuses(t *testing.T) {
 	}
 }
 
+// TestClient504Semantics pins the split the router's status contract
+// creates: 504 means a shard connection failed mid-request and the
+// shard may have ingested a prefix of the body, so a plain push must
+// fail immediately (resending the whole body could double-count the
+// prefix), while an offset-tagged push — idempotent by construction —
+// retries it like any transient status.
+func TestClient504Semantics(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusGatewayTimeout)
+		w.Write([]byte(`{"error":"fleet: shard unreachable mid-request"}`))
+	}))
+	defer ts.Close()
+	client := emprof.NewClient(ts.URL)
+	client.RetryBaseDelay = 1
+	client.MaxRetries = 3
+	ctx := context.Background()
+
+	err := client.PushSamples(ctx, "abc", make([]float64, 8))
+	var ae *emprof.APIError
+	if err == nil || !errors.As(err, &ae) || ae.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("plain push on 504: %v, want APIError 504", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("plain push attempted %d times on 504, want exactly 1 (partial ingest possible)", got)
+	}
+
+	hits.Store(0)
+	if _, err := client.PushSamplesAt(ctx, "abc", 0, make([]float64, 8)); !errors.Is(err, emprof.ErrRetriesExhausted) {
+		t.Fatalf("tagged push on persistent 504: %v, want ErrRetriesExhausted", err)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Fatalf("tagged push attempted %d times on 504, want 4 (initial + 3 retries)", got)
+	}
+}
+
 // TestClientTrace streams a capture and fetches the session's decision
 // trace: the accepted-stall events must reconcile with the final profile.
 func TestClientTrace(t *testing.T) {

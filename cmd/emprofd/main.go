@@ -69,6 +69,7 @@ func main() {
 		vnodes         = flag.Int("vnodes", 0, "with -router: virtual nodes per shard on the ring (0 = default)")
 		healthInterval = flag.Duration("health-interval", 0, "with -router: shard health-probe spacing (0 = default 2s)")
 		failThreshold  = flag.Int("fail-threshold", 0, "with -router: consecutive probe failures before a shard is marked down (0 = default 3)")
+		moveTimeout    = flag.Duration("move-timeout", 0, "with -router: per-shard-call deadline during rebalance hand-off (0 = default 30s)")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -76,7 +77,7 @@ func main() {
 		return
 	}
 	if *router {
-		runRouter(*addr, *shards, *ringSeed, *vnodes, *healthInterval, *failThreshold)
+		runRouter(*addr, *shards, *ringSeed, *vnodes, *healthInterval, *failThreshold, *moveTimeout)
 		return
 	}
 
@@ -123,7 +124,7 @@ func main() {
 // runRouter serves the fleet front: session routing over a consistent
 // hash ring, fleet-wide list/metrics aggregation, health-checked shard
 // membership with live hand-off on /v1/fleet/shards changes.
-func runRouter(addr, shardList string, seed uint64, vnodes int, healthInterval time.Duration, failThreshold int) {
+func runRouter(addr, shardList string, seed uint64, vnodes int, healthInterval time.Duration, failThreshold int, moveTimeout time.Duration) {
 	var urls []string
 	for _, s := range strings.Split(shardList, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -136,6 +137,7 @@ func runRouter(addr, shardList string, seed uint64, vnodes int, healthInterval t
 		VirtualNodes:   vnodes,
 		HealthInterval: healthInterval,
 		FailThreshold:  failThreshold,
+		MoveTimeout:    moveTimeout,
 	})
 	if err != nil {
 		fatal(err)

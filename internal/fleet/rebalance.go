@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"sync"
+
+	"emprof/internal/service"
 )
 
 // Membership changes move live sessions with the shard-side hand-off
@@ -56,11 +58,21 @@ type mover struct {
 
 // rebalance migrates every session on the source shards whose owner
 // changes from the current to the next ring, then installs next.
+//
+// Every shard call is individually bounded by cfg.MoveTimeout: the
+// whole run happens under rebalanceMu, so an unbounded call to a
+// wedged shard would block membership changes (and creates, which
+// read-lock the same mutex) forever. A timed-out listing fails the
+// rebalance before anything moved; a timed-out move fails just that
+// session into the unpin + override path.
 func (rt *Router) rebalance(cur, next *Ring, sources []string) error {
-	ctx := context.Background()
 	var movers []mover
 	for _, shard := range sources {
-		infos, err := rt.listShard(ctx, shard)
+		infos, err := func() ([]service.SessionInfo, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.MoveTimeout)
+			defer cancel()
+			return rt.listShard(ctx, shard)
+		}()
 		if err != nil {
 			return fmt.Errorf("fleet: listing %s for rebalance: %w", shard, err)
 		}
@@ -84,7 +96,7 @@ func (rt *Router) rebalance(cur, next *Ring, sources []string) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			oks[i], errs[i] = rt.moveSession(ctx, movers[i])
+			oks[i], errs[i] = rt.moveSession(movers[i])
 		}(i)
 	}
 	wg.Wait()
@@ -136,7 +148,9 @@ func (rt *Router) rebalance(cur, next *Ring, sources []string) error {
 	// benign: the session stays pinned there, untouchable, until the
 	// shard's idle-TTL sweeper collects it.
 	for _, m := range moved {
-		rt.post(ctx, m.from, "/v1/sessions/"+m.id+"/forget", nil)
+		fctx, cancel := context.WithTimeout(context.Background(), rt.cfg.MoveTimeout)
+		rt.post(fctx, m.from, "/v1/sessions/"+m.id+"/forget", nil)
+		cancel()
 		rt.sessionsMoved.Add(1)
 	}
 	if len(failed) > 0 {
@@ -149,8 +163,12 @@ func (rt *Router) rebalance(cur, next *Ring, sources []string) error {
 // moveSession runs pin → export → import for one session; moved
 // reports whether the session actually changed shards. On any failure
 // after the pin, the pin is lifted and the session keeps serving where
-// it was.
-func (rt *Router) moveSession(ctx context.Context, m mover) (moved bool, err error) {
+// it was. The whole pin→export→import chain shares one MoveTimeout
+// deadline; the unpin rollback gets a fresh one, because the move's
+// deadline may be the very thing that just expired.
+func (rt *Router) moveSession(m mover) (moved bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.MoveTimeout)
+	defer cancel()
 	code, _, err := rt.post(ctx, m.from, "/v1/sessions/"+m.id+"/pin", nil)
 	if err != nil {
 		return false, fmt.Errorf("pinning %s on %s: %w", m.id, m.from, err)
@@ -161,7 +179,11 @@ func (rt *Router) moveSession(ctx context.Context, m mover) (moved bool, err err
 	if code != http.StatusOK {
 		return false, fmt.Errorf("pinning %s on %s: HTTP %d", m.id, m.from, code)
 	}
-	unpin := func() { rt.post(ctx, m.from, "/v1/sessions/"+m.id+"/unpin", nil) }
+	unpin := func() {
+		uctx, ucancel := context.WithTimeout(context.Background(), rt.cfg.MoveTimeout)
+		defer ucancel()
+		rt.post(uctx, m.from, "/v1/sessions/"+m.id+"/unpin", nil)
+	}
 
 	code, blob, err := rt.post(ctx, m.from, "/v1/sessions/"+m.id+"/export", nil)
 	if err != nil || code != http.StatusOK {

@@ -46,6 +46,14 @@ type Config struct {
 	FailThreshold int
 	// ProbeTimeout bounds one health probe; <= 0 means 1 second.
 	ProbeTimeout time.Duration
+	// MoveTimeout bounds each shard call a rebalance makes (the source
+	// listing and each session's pin/export/import/forget) and the
+	// proxied delivery of a create; <= 0 means 30 seconds. Rebalancing
+	// holds the membership lock, so without a bound one wedged shard —
+	// an accepted connection that never answers — would block the admin
+	// routes and all future membership changes forever. A timed-out move
+	// fails into the normal unpin + override recovery path.
+	MoveTimeout time.Duration
 }
 
 // Router is the stateless front of an emprofd fleet. All per-session
@@ -62,9 +70,14 @@ type Router struct {
 	health    map[string]*shardHealth
 	overrides map[string]string // session ID -> shard, for failed moves
 
-	// rebalanceMu serializes membership changes; hand-off is incremental
-	// and two concurrent rebalances would race pin/forget.
-	rebalanceMu sync.Mutex
+	// rebalanceMu serializes membership changes (writers); hand-off is
+	// incremental and two concurrent rebalances would race pin/forget.
+	// Creates take it as readers across owner resolution + delivery, so
+	// every session either exists on its shard before a rebalance lists
+	// the sources (and is considered for moving) or resolves its owner
+	// from the post-rebalance ring — a create can never land on a source
+	// shard after the listing and be stranded by the ring swap.
+	rebalanceMu sync.RWMutex
 
 	sessionsMoved  atomic.Int64
 	movesFailed    atomic.Int64
@@ -96,6 +109,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.MoveTimeout <= 0 {
+		cfg.MoveTimeout = 30 * time.Second
 	}
 	rt := &Router{
 		cfg:       cfg,
@@ -257,7 +273,16 @@ func writeError(w http.ResponseWriter, code int, format string, a ...any) {
 
 // proxy forwards one request to a shard verbatim (path, query, headers —
 // including the idempotency offset tag — and body) and relays the
-// response. Shard trouble surfaces as 502, which emprof.Client retries.
+// response.
+//
+// Shard trouble splits into two statuses by what the shard may have
+// seen. 502 is reserved for failures *before* any byte is sent (shard
+// marked down): it can never leave partial state behind, so even a
+// plain untagged push retries it safely. A Do error is different — the
+// connection can break mid-body after the shard decoded a prefix — so
+// it surfaces as 504, which only idempotent (offset-tagged or GET)
+// requests retry. Collapsing both to 502 would let an untagged push
+// resend a body whose prefix already landed: a double ingest.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard string) {
 	rt.proxiedTotal.Add(1)
 	if rt.isDown(shard) {
@@ -279,7 +304,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard string) {
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		rt.proxyErrors.Add(1)
-		writeError(w, http.StatusBadGateway, "fleet: shard %s unreachable: %v", shard, err)
+		writeError(w, http.StatusGatewayTimeout, "fleet: shard %s unreachable: %v", shard, err)
 		return
 	}
 	relay(w, resp)
@@ -322,14 +347,29 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.ID == "" {
 		req.ID = newFleetID()
 	}
-	owner := rt.Ring().Owner(req.ID)
 	body, err := json.Marshal(req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "fleet: %v", err)
 		return
 	}
+	// The read-lock spans owner resolution AND delivery: released only
+	// once the session exists on its shard (or the create failed), so a
+	// rebalance that starts afterwards lists it, and one already holding
+	// the write lock forces this create to resolve from the next ring.
+	// Without it, a create resolved on the old ring could land on a
+	// source shard after the rebalance listed it — the ring swap would
+	// then route every request to the new owner, 404, forever.
+	rt.rebalanceMu.RLock()
+	defer rt.rebalanceMu.RUnlock()
+	owner := rt.Ring().Owner(req.ID)
 	rt.sessionsRouted.Add(1)
-	r2 := r.Clone(r.Context())
+	// Bound the delivery so a wedged shard (or a client that never
+	// cancels) cannot hold the read lock forever and wedge membership
+	// changes with it. A timed-out create answers 504; the client
+	// retries creates freely.
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.MoveTimeout)
+	defer cancel()
+	r2 := r.Clone(ctx)
 	r2.Body = io.NopCloser(bytes.NewReader(body))
 	r2.ContentLength = int64(len(body))
 	rt.proxy(w, r2, owner)
@@ -339,31 +379,36 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 // kept for ownership-race replay.
 const maxSessionBody = 256 << 20
 
-// proxySession forwards a per-session route to its owner. The body is
-// buffered so the request can be replayed: a hand-off can land between
-// owner resolution and delivery — the request reaches the old shard
-// after Forget and draws a 404 even though the session is alive on its
-// new owner — so a 404 re-resolves ownership and retries once if it
-// moved. A genuine unknown session resolves to the same owner twice and
-// the 404 is relayed as-is.
-func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request, id string) {
+// proxySession forwards a per-session route to its owner and returns
+// the status written to the client. The body is buffered so the request
+// can be replayed: a hand-off can land between owner resolution and
+// delivery — the request reaches the old shard after Forget and draws a
+// 404 even though the session is alive on its new owner — so a 404
+// re-resolves ownership and retries once if it moved. A genuine unknown
+// session resolves to the same owner twice and the 404 is relayed
+// as-is.
+//
+// Like proxy, a Do failure answers 504 — the shard may have consumed
+// part of the body — while the pre-send marked-down check answers 502,
+// safe for even untagged pushes to retry.
+func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request, id string) int {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSessionBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "fleet: reading body: %v", err)
-		return
+		return http.StatusBadRequest
 	}
 	rt.proxiedTotal.Add(1)
 	shard := rt.owner(id)
 	if rt.isDown(shard) {
 		rt.proxyErrors.Add(1)
 		writeError(w, http.StatusBadGateway, "fleet: shard %s marked down", shard)
-		return
+		return http.StatusBadGateway
 	}
 	resp, err := rt.forward(r, shard, body)
 	if err != nil {
 		rt.proxyErrors.Add(1)
-		writeError(w, http.StatusBadGateway, "fleet: shard %s unreachable: %v", shard, err)
-		return
+		writeError(w, http.StatusGatewayTimeout, "fleet: shard %s unreachable: %v", shard, err)
+		return http.StatusGatewayTimeout
 	}
 	if resp.StatusCode == http.StatusNotFound {
 		if again := rt.owner(id); again != shard && !rt.isDown(again) {
@@ -372,12 +417,13 @@ func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request, id string
 			resp, err = rt.forward(r, again, body)
 			if err != nil {
 				rt.proxyErrors.Add(1)
-				writeError(w, http.StatusBadGateway, "fleet: shard %s unreachable: %v", again, err)
-				return
+				writeError(w, http.StatusGatewayTimeout, "fleet: shard %s unreachable: %v", again, err)
+				return http.StatusGatewayTimeout
 			}
 		}
 	}
 	relay(w, resp)
+	return resp.StatusCode
 }
 
 func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
@@ -386,8 +432,18 @@ func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	rt.proxySession(w, r, id)
-	rt.dropOverride(id) // finalized (or gone): the exception is over
+	code := rt.proxySession(w, r, id)
+	// The override routes a stranded session to its off-ring shard; it
+	// may only be dropped once that shard says the session is gone — a
+	// 2xx (finalized) or a relayed 404 (already gone; with an override
+	// in place owner() resolves to the overridden shard, so the 404 is
+	// its answer). Dropping it on a failed DELETE (502/504: shard down
+	// or unreachable — the session still lives there) would re-route
+	// the client's retry to the ring owner, which 404s, making the
+	// session and its profile permanently unreachable.
+	if (code >= 200 && code < 300) || code == http.StatusNotFound {
+		rt.dropOverride(id)
+	}
 }
 
 // handleList fans GET /v1/sessions out to every shard and merges the

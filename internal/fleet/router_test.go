@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"emprof"
 	"emprof/internal/fleet"
@@ -203,6 +204,71 @@ func TestFleetRebalanceUnderLoad(t *testing.T) {
 	}
 	if wantTotal := int64(sessions * len(capture.Samples)); total != wantTotal {
 		t.Fatalf("fleet ingested %d samples, want exactly %d", total, wantTotal)
+	}
+}
+
+// TestFleetCreateDuringRebalance hammers session creation while
+// membership changes are in flight, then requires every created session
+// to be reachable through the router. A create must either complete
+// before the rebalance lists its shard (and be moved with the rest) or
+// resolve its owner from the post-swap ring — a create that resolved on
+// the old ring but landed after the listing would be stranded on a
+// shard the ring no longer points at.
+func TestFleetCreateDuringRebalance(t *testing.T) {
+	f := startFleet(t, 2)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var ids []string
+	var createErr error
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := emprof.NewClient(f.RouterURL)
+			client.RetryBaseDelay = 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, err := client.CreateSession(ctx, emprof.SessionSpec{SampleRate: 40e6, ClockHz: 1e9})
+				mu.Lock()
+				if err != nil {
+					createErr = err
+					mu.Unlock()
+					return
+				}
+				ids = append(ids, id)
+				mu.Unlock()
+			}
+		}()
+	}
+	// Let creates flow, then force two ring swaps underneath them.
+	time.Sleep(20 * time.Millisecond)
+	url, err := f.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Router.RemoveShard(url); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if createErr != nil {
+		t.Fatalf("create during rebalance: %v", createErr)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no sessions created")
+	}
+	client := emprof.NewClient(f.RouterURL)
+	client.RetryBaseDelay = 1
+	for _, id := range ids {
+		if _, err := client.Profile(ctx, id); err != nil {
+			t.Fatalf("session %s unreachable after rebalance: %v", id, err)
+		}
 	}
 }
 

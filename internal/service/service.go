@@ -348,8 +348,24 @@ func (r *Registry) ingest(s *session, format wireFormat, declaredLen, offset int
 	if offset >= 0 && format != formatRaw {
 		return IngestResult{}, fmt.Errorf("service: push offsets apply to raw-format ingest only")
 	}
-	if declaredLen >= 0 && s.bytes+declaredLen > r.cfg.MaxSessionBytes {
-		return IngestResult{}, ErrBudget
+	if declaredLen >= 0 {
+		// Charge only the bytes this request can actually ingest: an
+		// offset-tagged retry skips the already-decoded prefix, so that
+		// prefix must not count against the budget again — otherwise a
+		// retry of a push that mostly landed near MaxSessionBytes draws
+		// 429 forever even though its effective new bytes fit.
+		effective := declaredLen
+		if offset >= 0 && s.dec != nil {
+			if skip := (s.dec.Emitted() - offset) * 8; skip > 0 {
+				if skip > effective {
+					skip = effective
+				}
+				effective -= skip
+			}
+		}
+		if s.bytes+effective > r.cfg.MaxSessionBytes {
+			return IngestResult{}, ErrBudget
+		}
 	}
 	if s.dec == nil {
 		if format == formatCapture {

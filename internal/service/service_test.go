@@ -266,6 +266,81 @@ func TestByteBudget429(t *testing.T) {
 	}
 }
 
+// postSamplesAt posts a raw block offset-tagged with its session-stream
+// position, the way emprof.Client's PushSamplesAt does.
+func postSamplesAt(t *testing.T, ts *httptest.Server, id string, offset int64, body []byte) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions/"+id+"/samples", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ContentTypeRaw)
+	req.Header.Set(HeaderOffset, strconv.FormatInt(offset, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(msg)
+}
+
+// TestByteBudgetOffsetRetry checks that the budget pre-check charges an
+// offset-tagged push only for its effective new bytes: the prefix the
+// session already ingested will be skipped, so counting it again would
+// 429 a retry of a push that landed near MaxSessionBytes — the client
+// would then retry into the same 429 until it errors out, even though
+// nothing new needs to fit.
+func TestByteBudgetOffsetRetry(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxSessionBytes: 1000 * 8})
+	id := createSession(t, ts, 40e6, 1e9)
+
+	// Fill the budget exactly, then resend the whole block (a lost
+	// response): every byte is an already-ingested prefix, effective
+	// new bytes are zero, and the retry must succeed without ingesting
+	// anything twice.
+	block := rawBytes(testSignal(1000).Samples)
+	if code, _ := postSamplesAt(t, ts, id, 0, block); code != http.StatusOK {
+		t.Fatal("in-budget ingest rejected")
+	}
+	if code, msg := postSamplesAt(t, ts, id, 0, block); code != http.StatusOK {
+		t.Fatalf("full retry at the budget edge: HTTP %d (%s), want 200", code, msg)
+	}
+	snap, err := srv.Registry().Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SamplesIngested != 1000 || snap.BytesIngested != 1000*8 {
+		t.Fatalf("retry double-ingested: %d samples / %d bytes, want 1000 / 8000",
+			snap.SamplesIngested, snap.BytesIngested)
+	}
+	// An untagged push has no skippable prefix: still over budget.
+	if code, _ := postSamples(t, ts, id, rawBytes(make([]float64, 1)), ContentTypeRaw); code != http.StatusTooManyRequests {
+		t.Fatal("untagged over-budget push accepted")
+	}
+
+	// Partial overlap on a fresh session: 900 of 1000 samples landed,
+	// then a push of [800, 1000) retries. Its declared 1600 bytes would
+	// blow the pre-check, but 800 of them are skippable prefix — the
+	// effective 800 fit exactly.
+	id2 := createSession(t, ts, 40e6, 1e9)
+	samples := testSignal(1000).Samples
+	if code, _ := postSamplesAt(t, ts, id2, 0, rawBytes(samples[:900])); code != http.StatusOK {
+		t.Fatal("first 900 samples rejected")
+	}
+	if code, msg := postSamplesAt(t, ts, id2, 800, rawBytes(samples[800:])); code != http.StatusOK {
+		t.Fatalf("overlapping retry near the budget edge: HTTP %d (%s), want 200", code, msg)
+	}
+	snap, err = srv.Registry().Snapshot(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SamplesIngested != 1000 || snap.BytesIngested != 1000*8 {
+		t.Fatalf("overlapping retry mis-ingested: %d samples / %d bytes, want 1000 / 8000",
+			snap.SamplesIngested, snap.BytesIngested)
+	}
+}
+
 // TestIdleGC checks TTL-based collection with a fake clock.
 func TestIdleGC(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1e9, 0)}
