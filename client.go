@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"emprof/internal/service"
@@ -91,11 +92,28 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL}
 }
 
+// defaultHTTPClient backs every Client that did not bring its own. The
+// stock transport flushes request bodies through a 4 KiB write buffer,
+// which turns each streamed push (hundreds of kilobytes of samples)
+// into dozens of write syscalls; the enlarged buffers move a full chunk
+// per syscall. Shared package-wide so idle connections pool across
+// Client values, as they did with http.DefaultClient.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        100,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+		WriteBufferSize:     256 << 10,
+		ReadBufferSize:      256 << 10,
+	},
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 func (c *Client) maxRetries() int {
@@ -197,16 +215,30 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 			// offset tag there is no telling how much of the body landed.
 			return err
 		}
-		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		bp := respBufPool.Get().(*[]byte)
+		data, rerr := readBodyInto(bp, resp.Body, resp.ContentLength)
 		resp.Body.Close()
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-			if rerr != nil {
-				return rerr
+			var derr error
+			switch {
+			case rerr != nil:
+				derr = rerr
+			case out == nil:
+			default:
+				// Types with a hand-rolled codec (SessionSnapshot, Profile)
+				// decode directly: their fast paths parse the service's
+				// compact wire shape and fall back to the stdlib for
+				// anything else, so skipping encoding/json's validation
+				// pre-scan is safe. Both decoders copy everything they
+				// keep, so the read buffer can be recycled immediately.
+				if u, ok := out.(json.Unmarshaler); ok {
+					derr = u.UnmarshalJSON(data)
+				} else {
+					derr = json.Unmarshal(data, out)
+				}
 			}
-			if out == nil {
-				return nil
-			}
-			return json.Unmarshal(data, out)
+			respBufPool.Put(bp)
+			return derr
 		}
 		// A 404 without the service's JSON error body means the route is
 		// absent from the daemon's mux (an older daemon that predates the
@@ -214,6 +246,7 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 		// rather than ErrSessionNotFound.
 		var ae apiError
 		_ = json.Unmarshal(data, &ae)
+		respBufPool.Put(bp)
 		lastErr = &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
 		retryable := transientStatus(resp.StatusCode)
 		if mode == retryBackpressure {
@@ -224,6 +257,52 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 		}
 	}
 	return fmt.Errorf("%w: %w", ErrRetriesExhausted, lastErr)
+}
+
+// maxResponseBody bounds how much of a response the client will buffer.
+const maxResponseBody = 64 << 20
+
+// respBufPool recycles response read buffers. Profile snapshots run to
+// hundreds of kilobytes and are fetched repeatedly while streaming;
+// allocating a fresh buffer per response made the GC a measurable share
+// of ingest throughput. Buffers go back to the pool inside do() once the
+// decoded value (which copies everything it keeps) has been produced.
+var respBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64<<10); return &b },
+}
+
+// readBodyInto drains a response body into bp's buffer, growing it as
+// needed and sizing it up front from Content-Length when the server
+// declared one (the service sets it on profile responses).
+func readBodyInto(bp *[]byte, body io.Reader, contentLength int64) ([]byte, error) {
+	buf := (*bp)[:0]
+	if n := contentLength; n > 0 && n <= maxResponseBody {
+		if int64(cap(buf)) < n {
+			buf = make([]byte, n)
+		} else {
+			buf = buf[:n]
+		}
+		*bp = buf
+		if _, err := io.ReadFull(body, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	lr := io.LimitReader(body, maxResponseBody)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		*bp = buf
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 }
 
 // apiError mirrors the service's error body.
@@ -259,8 +338,13 @@ func (c *Client) CreateSession(ctx context.Context, spec SessionSpec) (string, e
 // their stream position should prefer PushSamplesAt, whose retries also
 // survive network errors.
 func (c *Client) PushSamples(ctx context.Context, id string, samples []float64) error {
-	return c.do(ctx, retryBackpressure, http.MethodPost,
-		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, nil, encodeSamples(samples), nil)
+	bp, body := encodeSamples(samples)
+	err := c.do(ctx, retryBackpressure, http.MethodPost,
+		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, nil, body, nil)
+	if err == nil {
+		recycleEncBuf(bp)
+	}
+	return err
 }
 
 // PushSamplesAt uploads one block whose first sample is at session
@@ -274,18 +358,44 @@ func (c *Client) PushSamples(ctx context.Context, id string, samples []float64) 
 func (c *Client) PushSamplesAt(ctx context.Context, id string, offset int64, samples []float64) (service.IngestResult, error) {
 	hdr := http.Header{service.HeaderOffset: []string{strconv.FormatInt(offset, 10)}}
 	var res service.IngestResult
+	bp, body := encodeSamples(samples)
 	err := c.do(ctx, retryAll, http.MethodPost,
-		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, hdr, encodeSamples(samples), &res)
+		"/v1/sessions/"+id+"/samples", service.ContentTypeRaw, hdr, body, &res)
+	if err == nil {
+		recycleEncBuf(bp)
+	}
 	return res, err
 }
 
-func encodeSamples(samples []float64) []byte {
-	body := make([]byte, len(samples)*8)
+// encBufPool recycles sample-encode buffers across pushes. A buffer is
+// returned to the pool ONLY after its request succeeded: on any failure
+// the transport's write loop may still be draining the bytes.Reader
+// asynchronously (e.g. the server replied before reading the whole
+// body), so the buffer is dropped to the garbage collector instead of
+// being handed to a concurrent push mid-read.
+var encBufPool sync.Pool
+
+// encodeSamples encodes samples into a pooled little-endian buffer. The
+// caller must pass the returned handle to recycleEncBuf once — and only
+// once — the request (including every retry) has completed successfully.
+func encodeSamples(samples []float64) (*[]byte, []byte) {
+	bp, _ := encBufPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	need := len(samples) * 8
+	if cap(*bp) < need {
+		*bp = make([]byte, need)
+	}
+	body := (*bp)[:need]
+	*bp = body
 	for i, v := range samples {
 		binary.LittleEndian.PutUint64(body[i*8:], math.Float64bits(v))
 	}
-	return body
+	return bp, body
 }
+
+func recycleEncBuf(bp *[]byte) { encBufPool.Put(bp) }
 
 // sessionOffset asks the daemon for a session's current stream position
 // via an empty push — idempotent by construction, so it retries freely.

@@ -114,10 +114,10 @@ func (s *StreamAnalyzer) ExportState() *StreamState {
 		Pushed:     s.n,
 		Decided:    s.emitted,
 		Fed:        s.fed,
-		FlagBuf:    append([]trace.Flag(nil), s.flagBuf...),
+		FlagBuf:    s.flagBuf.items(),
 		ResyncAt:   append([]int64(nil), s.resyncAt...),
 		SmTail:     append([]float64(nil), s.smTail...),
-		Pending:    append([]float64(nil), s.pending...),
+		Pending:    s.pending.items(),
 		LastMin:    s.lastMin,
 		LastMax:    s.lastMax,
 		HaveStats:  s.haveStats,
@@ -209,10 +209,10 @@ func ResumeStreamAnalyzer(st *StreamState) (*StreamAnalyzer, error) {
 	s.n = st.Pushed
 	s.emitted = st.Decided
 	s.fed = st.Fed
-	s.flagBuf = append(s.flagBuf[:0], st.FlagBuf...)
+	s.flagBuf.load(st.FlagBuf)
 	s.resyncAt = append(s.resyncAt[:0], st.ResyncAt...)
 	s.smTail = append(s.smTail[:0], st.SmTail...)
-	s.pending = append(s.pending[:0], st.Pending...)
+	s.pending.load(st.Pending)
 	s.lastMin, s.lastMax, s.haveStats = st.LastMin, st.LastMax, st.HaveStats
 
 	m := s.mon

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"emprof/internal/jsonfast"
+)
+
+// AppendJSON appends the profile encoded exactly as encoding/json
+// renders a Profile value — same field order, float formatting, and
+// null/array conventions — so handlers can serialize profile responses
+// without the stdlib's reflection walk and compaction re-scan. The
+// byte-identity is property-tested against the stdlib in
+// profilejson_test.go.
+func (p *Profile) AppendJSON(b []byte) ([]byte, error) {
+	var err error
+	b = append(b, `{"Stalls":`...)
+	if b, err = p.Stalls.appendJSON(b); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"Misses":`...)
+	b = strconv.AppendInt(b, int64(p.Misses), 10)
+	b = append(b, `,"RefreshStalls":`...)
+	b = strconv.AppendInt(b, int64(p.RefreshStalls), 10)
+	b = append(b, `,"StallCycles":`...)
+	if b, err = jsonfast.AppendFloat(b, p.StallCycles); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"ExecCycles":`...)
+	if b, err = jsonfast.AppendFloat(b, p.ExecCycles); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"SampleRate":`...)
+	if b, err = jsonfast.AppendFloat(b, p.SampleRate); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"ClockHz":`...)
+	if b, err = jsonfast.AppendFloat(b, p.ClockHz); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"Normalized":`...)
+	if p.Normalized == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, v := range p.Normalized {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			if b, err = jsonfast.AppendFloat(b, v); err != nil {
+				return nil, err
+			}
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"Quality":`...)
+	if b, err = p.Quality.appendJSON(b); err != nil {
+		return nil, err
+	}
+	return append(b, '}'), nil
+}
+
+func (q *Quality) appendJSON(b []byte) ([]byte, error) {
+	b = append(b, `{"Samples":`...)
+	b = strconv.AppendInt(b, q.Samples, 10)
+	b = append(b, `,"NaNSamples":`...)
+	b = strconv.AppendInt(b, q.NaNSamples, 10)
+	b = append(b, `,"DroppedSamples":`...)
+	b = strconv.AppendInt(b, q.DroppedSamples, 10)
+	b = append(b, `,"ClippedSamples":`...)
+	b = strconv.AppendInt(b, q.ClippedSamples, 10)
+	b = append(b, `,"BurstSamples":`...)
+	b = strconv.AppendInt(b, q.BurstSamples, 10)
+	b = append(b, `,"StepSamples":`...)
+	b = strconv.AppendInt(b, q.StepSamples, 10)
+	b = append(b, `,"Resyncs":`...)
+	b = strconv.AppendInt(b, int64(q.Resyncs), 10)
+	b = append(b, `,"AbortedDips":`...)
+	b = strconv.AppendInt(b, int64(q.AbortedDips), 10)
+	return append(b, '}'), nil
+}
+
+// UnmarshalJSON decodes a profile. The fast path parses exactly the
+// compact shape AppendJSON (and reflection-driven encoding/json) emits;
+// anything else — whitespace, reordered or unknown fields — falls back
+// to the stdlib decoder, so the codec stays tolerant to every input the
+// plain struct accepted.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	data = jsonfast.TrimSpace(data)
+	if out, i, ok := parseProfileSpan(data, 0); ok && i == len(data) {
+		*p = out
+		return nil
+	}
+	// plainProfile shadows Profile without its methods so the fallback
+	// cannot recurse; the StallList field keeps its own tolerant codec.
+	// Decoding starts from the current value to preserve the stdlib's
+	// merge semantics for partial objects.
+	type plainProfile Profile
+	out := plainProfile(*p)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return err
+	}
+	*p = Profile(out)
+	return nil
+}
+
+// ParseProfileJSON parses a compact profile object starting at data[i],
+// returning the index just past its closing brace. It accepts exactly
+// the shape AppendJSON emits; callers embedding profiles in larger fast
+// codecs (service.Snapshot) use it to decode the nested object in one
+// pass, falling back to the stdlib on !ok.
+func ParseProfileJSON(data []byte, i int) (Profile, int, bool) {
+	return parseProfileSpan(data, i)
+}
+
+// parseProfileSpan parses a compact profile object starting at data[i],
+// returning the index just past its closing brace.
+func parseProfileSpan(data []byte, i int) (Profile, int, bool) {
+	var p Profile
+	var ok bool
+	var n int64
+	if i, ok = jsonfast.Eat(data, i, `{"Stalls":`); !ok {
+		return p, i, false
+	}
+	if p.Stalls, i, ok = parseStallsSpan(data, i); !ok {
+		return p, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"Misses":`); !ok {
+		return p, i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return p, i, false
+	}
+	p.Misses = int(n)
+	if i, ok = jsonfast.Eat(data, i, `,"RefreshStalls":`); !ok {
+		return p, i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return p, i, false
+	}
+	p.RefreshStalls = int(n)
+	if i, ok = jsonfast.Eat(data, i, `,"StallCycles":`); !ok {
+		return p, i, false
+	}
+	if p.StallCycles, i, ok = jsonfast.Float(data, i); !ok {
+		return p, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"ExecCycles":`); !ok {
+		return p, i, false
+	}
+	if p.ExecCycles, i, ok = jsonfast.Float(data, i); !ok {
+		return p, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"SampleRate":`); !ok {
+		return p, i, false
+	}
+	if p.SampleRate, i, ok = jsonfast.Float(data, i); !ok {
+		return p, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"ClockHz":`); !ok {
+		return p, i, false
+	}
+	if p.ClockHz, i, ok = jsonfast.Float(data, i); !ok {
+		return p, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"Normalized":`); !ok {
+		return p, i, false
+	}
+	if p.Normalized, i, ok = parseFloatArraySpan(data, i); !ok {
+		return p, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"Quality":`); !ok {
+		return p, i, false
+	}
+	if p.Quality, i, ok = parseQualitySpan(data, i); !ok {
+		return p, i, false
+	}
+	if i >= len(data) || data[i] != '}' {
+		return p, i, false
+	}
+	return p, i + 1, true
+}
+
+func parseFloatArraySpan(data []byte, i int) ([]float64, int, bool) {
+	if j, ok := jsonfast.Eat(data, i, "null"); ok {
+		return nil, j, true
+	}
+	if i >= len(data) || data[i] != '[' {
+		return nil, i, false
+	}
+	i++
+	if i < len(data) && data[i] == ']' {
+		return []float64{}, i + 1, true
+	}
+	out := make([]float64, 0, 64)
+	for {
+		v, j, ok := jsonfast.Float(data, i)
+		if !ok {
+			return nil, i, false
+		}
+		out = append(out, v)
+		i = j
+		if i < len(data) && data[i] == ']' {
+			return out, i + 1, true
+		}
+		if i >= len(data) || data[i] != ',' {
+			return nil, i, false
+		}
+		i++
+	}
+}
+
+func parseQualitySpan(data []byte, i int) (Quality, int, bool) {
+	var q Quality
+	var ok bool
+	var n int64
+	if i, ok = jsonfast.Eat(data, i, `{"Samples":`); !ok {
+		return q, i, false
+	}
+	if q.Samples, i, ok = jsonfast.Int(data, i); !ok {
+		return q, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"NaNSamples":`); !ok {
+		return q, i, false
+	}
+	if q.NaNSamples, i, ok = jsonfast.Int(data, i); !ok {
+		return q, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"DroppedSamples":`); !ok {
+		return q, i, false
+	}
+	if q.DroppedSamples, i, ok = jsonfast.Int(data, i); !ok {
+		return q, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"ClippedSamples":`); !ok {
+		return q, i, false
+	}
+	if q.ClippedSamples, i, ok = jsonfast.Int(data, i); !ok {
+		return q, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"BurstSamples":`); !ok {
+		return q, i, false
+	}
+	if q.BurstSamples, i, ok = jsonfast.Int(data, i); !ok {
+		return q, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"StepSamples":`); !ok {
+		return q, i, false
+	}
+	if q.StepSamples, i, ok = jsonfast.Int(data, i); !ok {
+		return q, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"Resyncs":`); !ok {
+		return q, i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return q, i, false
+	}
+	q.Resyncs = int(n)
+	if i, ok = jsonfast.Eat(data, i, `,"AbortedDips":`); !ok {
+		return q, i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return q, i, false
+	}
+	q.AbortedDips = int(n)
+	if i >= len(data) || data[i] != '}' {
+		return q, i, false
+	}
+	return q, i + 1, true
+}

@@ -152,8 +152,9 @@ type Stall struct {
 
 // Profile is the outcome of analysing one capture.
 type Profile struct {
-	// Stalls lists every detected stall in time order.
-	Stalls []Stall
+	// Stalls lists every detected stall in time order. StallList carries
+	// fast JSON codecs wire-compatible with a plain []Stall.
+	Stalls StallList
 	// Misses is the reported LLC miss count: one per non-refresh stall
 	// (the paper counts refresh-coincident events separately).
 	Misses int

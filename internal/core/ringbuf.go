@@ -1,0 +1,119 @@
+package core
+
+// fifo is a growable ring-buffer FIFO. The streaming analyzer's pending
+// and flag queues used to be plain slices advanced with s = s[1:]; because
+// append can never reclaim the popped prefix, every half-window of
+// steady-state streaming reallocated and re-copied the queue. The ring
+// reuses its storage forever, which is what lets sustained ingest run at
+// zero allocations per sample once the pipeline is warm.
+type fifo[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *fifo[T]) len() int { return r.n }
+
+func (r *fifo[T]) push(x T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = x
+	r.n++
+}
+
+// pushSlice appends all of xs in order, equivalent to pushing each
+// element; the copies happen in at most two bulk moves.
+func (r *fifo[T]) pushSlice(xs []T) {
+	for r.n+len(xs) > len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	first := len(r.buf) - i
+	if first > len(xs) {
+		first = len(xs)
+	}
+	copy(r.buf[i:], xs[:first])
+	copy(r.buf, xs[first:])
+	r.n += len(xs)
+}
+
+func (r *fifo[T]) pop() T {
+	x := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return x
+}
+
+// popOrZero pops the front element, or returns the zero value on an
+// empty queue (the flag queue's historical slice semantics).
+func (r *fifo[T]) popOrZero() T {
+	var zero T
+	if r.n == 0 {
+		return zero
+	}
+	return r.pop()
+}
+
+// ptr returns the address of the i-th element from the front, for
+// in-place updates (retroactive flag patching).
+func (r *fifo[T]) ptr(i int) *T {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return &r.buf[j]
+}
+
+func (r *fifo[T]) grow() {
+	nb := make([]T, maxInt(8, 2*len(r.buf)))
+	r.copyTo(nb)
+	r.buf, r.head = nb, 0
+}
+
+// copyTo linearizes the queue contents into dst (which must hold at
+// least r.n elements).
+func (r *fifo[T]) copyTo(dst []T) {
+	first := len(r.buf) - r.head
+	if first > r.n {
+		first = r.n
+	}
+	copy(dst, r.buf[r.head:r.head+first])
+	copy(dst[first:], r.buf[:r.n-first])
+}
+
+// items returns a linearized copy of the queue, nil when empty — the
+// shape the hand-off state format has always serialized.
+func (r *fifo[T]) items() []T {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]T, r.n)
+	r.copyTo(out)
+	return out
+}
+
+// load replaces the queue contents.
+func (r *fifo[T]) load(xs []T) {
+	r.head, r.n = 0, 0
+	for _, x := range xs {
+		r.push(x)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

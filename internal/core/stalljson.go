@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"emprof/internal/jsonfast"
+)
+
+// StallList is the stall array of a Profile with hand-rolled JSON
+// codecs. Profile responses — live snapshots every few pushes, finalize,
+// hand-off state — are dominated by this array, and reflection-driven
+// encoding/json spends most of its time walking it; the custom codecs
+// keep the daemon's profile endpoints off the ingest path's critical
+// core budget. The wire bytes are bit-identical to what encoding/json
+// produces for a plain []Stall (property-tested in stalljson_test.go),
+// so old and new clients and daemons interoperate freely.
+type StallList []Stall
+
+// MarshalJSON encodes the list exactly as encoding/json would: same
+// field order, same float formatting (shortest round-trip, scientific
+// notation outside [1e-6, 1e21)), no whitespace, "null" for nil.
+func (sl StallList) MarshalJSON() ([]byte, error) {
+	return sl.appendJSON(make([]byte, 0, 2+len(sl)*176))
+}
+
+func (sl StallList) appendJSON(b []byte) ([]byte, error) {
+	if sl == nil {
+		return append(b, "null"...), nil
+	}
+	b = append(b, '[')
+	for i := range sl {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		s := &sl[i]
+		var err error
+		b = append(b, `{"StartSample":`...)
+		b = strconv.AppendInt(b, int64(s.StartSample), 10)
+		b = append(b, `,"EndSample":`...)
+		b = strconv.AppendInt(b, int64(s.EndSample), 10)
+		b = append(b, `,"StartS":`...)
+		if b, err = jsonfast.AppendFloat(b, s.StartS); err != nil {
+			return nil, err
+		}
+		b = append(b, `,"DurationS":`...)
+		if b, err = jsonfast.AppendFloat(b, s.DurationS); err != nil {
+			return nil, err
+		}
+		b = append(b, `,"Cycles":`...)
+		if b, err = jsonfast.AppendFloat(b, s.Cycles); err != nil {
+			return nil, err
+		}
+		b = append(b, `,"Depth":`...)
+		if b, err = jsonfast.AppendFloat(b, s.Depth); err != nil {
+			return nil, err
+		}
+		b = append(b, `,"Refresh":`...)
+		if s.Refresh {
+			b = append(b, "true"...)
+		} else {
+			b = append(b, "false"...)
+		}
+		b = append(b, `,"Confidence":`...)
+		if b, err = jsonfast.AppendFloat(b, s.Confidence); err != nil {
+			return nil, err
+		}
+		b = append(b, '}')
+	}
+	return append(b, ']'), nil
+}
+
+// UnmarshalJSON decodes a stall array. The fast path parses exactly the
+// compact shape both this codec and encoding/json emit (fields in
+// declaration order, no whitespace); any other input — reordered or
+// unknown fields, whitespace, hand-written JSON — falls back to the
+// stdlib decoder, so everything encoding/json accepted before is still
+// accepted.
+func (sl *StallList) UnmarshalJSON(data []byte) error {
+	data = jsonfast.TrimSpace(data)
+	if out, i, ok := parseStallsSpan(data, 0); ok && i == len(data) {
+		*sl = out
+		return nil
+	}
+	var xs []Stall
+	if err := json.Unmarshal(data, &xs); err != nil {
+		return err
+	}
+	*sl = xs
+	return nil
+}
+
+// parseStallsSpan parses a compact stall array (or null) starting at
+// data[i], returning the index just past it.
+func parseStallsSpan(data []byte, i int) (StallList, int, bool) {
+	if j, ok := jsonfast.Eat(data, i, "null"); ok {
+		return nil, j, true
+	}
+	if i >= len(data) || data[i] != '[' {
+		return nil, i, false
+	}
+	i++
+	if i < len(data) && data[i] == ']' {
+		return StallList{}, i + 1, true
+	}
+	// Size the output from the remaining span: compact stalls run ~170
+	// bytes each, and a snapshot's blob is dominated by this array, so
+	// the estimate spares the doubling-growth garbage of large decodes.
+	out := make(StallList, 0, (len(data)-i)/170+4)
+	for {
+		var s Stall
+		var ok bool
+		if i, ok = parseStallFast(data, i, &s); !ok {
+			return nil, i, false
+		}
+		out = append(out, s)
+		if i < len(data) && data[i] == ']' {
+			return out, i + 1, true
+		}
+		if i >= len(data) || data[i] != ',' {
+			return nil, i, false
+		}
+		i++
+	}
+}
+
+// parseStallFast parses one compact stall object starting at data[i],
+// returning the index just past its closing brace.
+func parseStallFast(data []byte, i int, s *Stall) (int, bool) {
+	var ok bool
+	var n int64
+	if i, ok = jsonfast.Eat(data, i, `{"StartSample":`); !ok {
+		return i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return i, false
+	}
+	s.StartSample = int(n)
+	if i, ok = jsonfast.Eat(data, i, `,"EndSample":`); !ok {
+		return i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return i, false
+	}
+	s.EndSample = int(n)
+	if i, ok = jsonfast.Eat(data, i, `,"StartS":`); !ok {
+		return i, false
+	}
+	if s.StartS, i, ok = jsonfast.Float(data, i); !ok {
+		return i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"DurationS":`); !ok {
+		return i, false
+	}
+	if s.DurationS, i, ok = jsonfast.Float(data, i); !ok {
+		return i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"Cycles":`); !ok {
+		return i, false
+	}
+	if s.Cycles, i, ok = jsonfast.Float(data, i); !ok {
+		return i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"Depth":`); !ok {
+		return i, false
+	}
+	if s.Depth, i, ok = jsonfast.Float(data, i); !ok {
+		return i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"Refresh":`); !ok {
+		return i, false
+	}
+	if s.Refresh, i, ok = jsonfast.Bool(data, i); !ok {
+		return i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"Confidence":`); !ok {
+		return i, false
+	}
+	if s.Confidence, i, ok = jsonfast.Float(data, i); !ok {
+		return i, false
+	}
+	if i >= len(data) || data[i] != '}' {
+		return i, false
+	}
+	return i + 1, true
+}

@@ -30,8 +30,8 @@ type StreamAnalyzer struct {
 	// Quality monitor stage (runs on raw samples, before smoothing).
 	mon *monitor
 	// flagBuf holds the impairment flags of positions not yet decided;
-	// flagBuf[0] belongs to the next position decide will consume.
-	flagBuf []qflag
+	// its front belongs to the next position decide will consume.
+	flagBuf fifo[qflag]
 	// resyncAt holds positions at which the min/max state must be reset
 	// before that position is folded in.
 	resyncAt []int64
@@ -52,7 +52,7 @@ type StreamAnalyzer struct {
 	half       int
 	window     int
 	// pending holds smoothed values awaiting their (delayed) decision.
-	pending []float64
+	pending fifo[float64]
 
 	// Detection state.
 	n       int64 // raw samples pushed
@@ -65,6 +65,10 @@ type StreamAnalyzer struct {
 	OnStall func(Stall)
 	// obs receives decision-trace events when set via SetObserver.
 	obs trace.Observer
+
+	// scratch backs PushBlock's staged processing; nil until the first
+	// block push.
+	scratch *blockScratch
 
 	lastMin, lastMax float64
 	haveStats        bool
@@ -123,14 +127,14 @@ func (s *StreamAnalyzer) Push(x float64) {
 	p := s.n
 	s.n++
 	y, fl, retro, rs := s.mon.process(x)
-	s.flagBuf = append(s.flagBuf, fl)
+	s.flagBuf.push(fl)
 	if fl != 0 {
 		for k := 1; k <= retro; k++ {
-			idx := len(s.flagBuf) - 1 - k
+			idx := s.flagBuf.len() - 1 - k
 			if idx < 0 {
 				break
 			}
-			s.flagBuf[idx] |= fl
+			*s.flagBuf.ptr(idx) |= fl
 		}
 	}
 	if rs {
@@ -165,26 +169,25 @@ func (s *StreamAnalyzer) feedPosition(x float64) {
 	s.lastMin = s.mmin.Process(x)
 	s.lastMax = s.mmax.Process(x)
 	s.haveStats = true
-	s.pending = append(s.pending, x)
+	s.pending.push(x)
 	// Positions up to (#fed - 1) - half can now be decided.
-	for len(s.pending) > s.half {
-		v := s.pending[0]
-		s.pending = s.pending[1:]
-		s.decide(v)
+	for s.pending.len() > s.half {
+		s.decide(s.pending.pop())
 	}
 }
 
 // decide normalises one position against the current stats and runs the
 // dip detector.
 func (s *StreamAnalyzer) decide(x float64) {
+	s.decideAt(x, s.flagBuf.popOrZero(), s.lastMin, s.lastMax)
+}
+
+// decideAt is decide with the position's flags and normalisation stats
+// supplied by the caller — the block path computes stats per position
+// up front instead of reading them from the analyzer at decision time.
+func (s *StreamAnalyzer) decideAt(x float64, fl qflag, lo, hi float64) {
 	i := s.emitted
 	s.emitted++
-	var fl qflag
-	if len(s.flagBuf) > 0 {
-		fl = s.flagBuf[0]
-		s.flagBuf = s.flagBuf[1:]
-	}
-	lo, hi := s.lastMin, s.lastMax
 	r := hi - lo
 	var v float64
 	if hi <= 0 || r < s.cfg.MinRangeFrac*hi {
@@ -227,10 +230,8 @@ func (s *StreamAnalyzer) Finalize() *Profile {
 		}
 	}
 	// Decide the trailing half-window with the final stats.
-	for len(s.pending) > 0 && s.haveStats {
-		v := s.pending[0]
-		s.pending = s.pending[1:]
-		s.decide(v)
+	for s.pending.len() > 0 && s.haveStats {
+		s.decide(s.pending.pop())
 	}
 	s.det.finish(s.emitted)
 	if s.obs != nil {
@@ -279,6 +280,22 @@ func (s *StreamAnalyzer) Snapshot() *Profile {
 	}
 	p.Quality = s.mon.q
 	return &p
+}
+
+// SnapshotView is Snapshot without the stall-list clone: the returned
+// profile's Stalls alias the analyzer's live list. It exists for callers
+// that hold the analyzer's external serialisation lock across both the
+// call and every read of the result (the profiling service encodes the
+// snapshot to JSON under its session lock); the view must not be
+// retained or read after that lock is released. All scalar fields match
+// Snapshot exactly.
+func (s *StreamAnalyzer) SnapshotView() Profile {
+	p := *s.prof
+	if s.sampleRate > 0 {
+		p.ExecCycles = float64(s.n) * (s.clockHz / s.sampleRate)
+	}
+	p.Quality = s.mon.q
+	return p
 }
 
 // ProfileStream runs the streaming analyzer over a whole capture; it is

@@ -1,0 +1,185 @@
+package core
+
+import "emprof/internal/dsp"
+
+// pushBlockN bounds how many samples one staged pass processes; blocks
+// larger than this are split. 4096 samples keeps the four scratch lanes
+// (sanitised, smoothed, min, max) around 128 KiB — resident in L2 —
+// while still amortising the per-stage state hoisting over thousands of
+// samples.
+const pushBlockN = 4096
+
+// blockScratch backs PushBlock's staged processing. It belongs to one
+// StreamAnalyzer and is reused across blocks, so the steady-state block
+// path performs no allocations at all.
+type blockScratch struct {
+	san []float64 // monitor-sanitised samples
+	sm  []float64 // smoother outputs
+	lo  []float64 // per-position moving minimum
+	hi  []float64 // per-position moving maximum
+	fl  []qflag   // per-sample impairment flags
+}
+
+func newBlockScratch() *blockScratch {
+	return &blockScratch{
+		san: make([]float64, pushBlockN),
+		sm:  make([]float64, pushBlockN),
+		lo:  make([]float64, pushBlockN),
+		hi:  make([]float64, pushBlockN),
+		fl:  make([]qflag, pushBlockN),
+	}
+}
+
+// PushBlock feeds a batch of magnitude samples. It is bit-identical to
+// calling Push on each sample in order — the pipeline has no feedback
+// between its stages, so each stage can run over the whole block before
+// the next starts, hoisting per-stage state out of the per-sample loop.
+// The block is processed in bounded chunks; xs is not retained.
+func (s *StreamAnalyzer) PushBlock(xs []float64) {
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > pushBlockN {
+			n = pushBlockN
+		}
+		s.pushChunk(xs[:n])
+		xs = xs[n:]
+	}
+}
+
+func (s *StreamAnalyzer) pushChunk(chunk []float64) {
+	if s.scratch == nil {
+		s.scratch = newBlockScratch()
+	}
+	sc := s.scratch
+	san := sc.san[:len(chunk)]
+
+	// Stage 1: quality monitor. Retroactive flag patches reach at most
+	// half-1 positions back (the monitor clamps them so pending stream
+	// positions can still absorb them), which is always shallower than
+	// the oldest undecided position — so patching through the flag queue
+	// applies exactly the per-sample ORs.
+	// The block-hoisted monitor writes the sanitised values and flags
+	// into the scratch lanes; the chunk's flags enter the queue in one
+	// bulk move afterwards, so in-block retro patches land on the scratch
+	// array and only patches reaching before the chunk touch the queue.
+	// qLen is the queue length at chunk start, i.e. the index one past
+	// the newest pre-chunk position.
+	n0 := s.n
+	flags := sc.fl[:len(chunk)]
+	qLen := s.flagBuf.len()
+	s.mon.processBlock(chunk, san, flags,
+		func(back int, f qflag) bool {
+			idx := qLen - back
+			if idx < 0 {
+				return false
+			}
+			*s.flagBuf.ptr(idx) |= f
+			return true
+		},
+		func(i int) {
+			s.resyncAt = append(s.resyncAt, n0+int64(i))
+		})
+	s.flagBuf.pushSlice(flags)
+	s.n = n0 + int64(len(chunk))
+
+	// Stage 2: smoothing with centre compensation. Without a smoother
+	// every sanitised sample is a position; with one, the smoother output
+	// for input j describes position j-lead, so the first lead outputs of
+	// the stream are discarded and the last lead+1 outputs are kept as
+	// the uncompensated tail Finalize replays.
+	vals := san
+	if s.smoother != nil {
+		sm := s.smoother.ProcessBlock(san, sc.sm[:len(chunk)])
+		k := s.lead + 1
+		if len(sm) >= k {
+			s.smTail = append(s.smTail[:0], sm[len(sm)-k:]...)
+		} else {
+			if drop := len(s.smTail) + len(sm) - k; drop > 0 {
+				copy(s.smTail, s.smTail[drop:])
+				s.smTail = s.smTail[:len(s.smTail)-drop]
+			}
+			s.smTail = append(s.smTail, sm...)
+		}
+		skip := s.lead - int(n0)
+		if skip < 0 {
+			skip = 0
+		}
+		if skip > len(sm) {
+			skip = len(sm)
+		}
+		vals = sm[skip:]
+	}
+	s.feedBlock(vals)
+}
+
+// feedBlock advances the normalisation stage over a run of positions,
+// splitting at monitor-requested resync positions, then drains the
+// decisions that became final. It is the block form of feedPosition and
+// produces identical state and detector calls.
+func (s *StreamAnalyzer) feedBlock(vals []float64) {
+	if len(vals) == 0 {
+		return
+	}
+	sc := s.scratch
+	los := sc.lo[:len(vals)]
+	his := sc.hi[:len(vals)]
+	fed0 := s.fed
+	for i := 0; i < len(vals); {
+		if len(s.resyncAt) > 0 && s.resyncAt[0] == fed0+int64(i) {
+			s.mmin.Reset()
+			s.mmax.Reset()
+			s.resyncAt = s.resyncAt[1:]
+		}
+		end := len(vals)
+		if len(s.resyncAt) > 0 {
+			if e := int(s.resyncAt[0] - fed0); e < end {
+				end = e
+			}
+		}
+		if end <= i {
+			// Defensive: resync entries are strictly ascending and >= fed,
+			// so this cannot fire; keep the loop finite regardless.
+			end = i + 1
+		}
+		dsp.ProcessBlockMinMax(s.mmin, s.mmax, vals[i:end], los[i:end], his[i:end])
+		i = end
+	}
+	s.fed = fed0 + int64(len(vals))
+	s.lastMin = los[len(vals)-1]
+	s.lastMax = his[len(vals)-1]
+	s.haveStats = true
+	// Decide every position whose half-window delay has elapsed, using
+	// the stats that were current when that position's delay ran out —
+	// los/his[k] are exactly lastMin/lastMax after feeding position
+	// fed0+k, which is the state the per-sample path decides under.
+	// The body mirrors decideAt with the counter and config hoisted out
+	// of the loop; decideAt remains the per-sample reference, and the
+	// Push≡PushBlock property tests pin the two paths together.
+	det := s.det
+	emitted := s.emitted
+	mrf := s.cfg.MinRangeFrac
+	for k, x := range vals {
+		s.pending.push(x)
+		if s.pending.len() > s.half {
+			xd := s.pending.pop()
+			fl := s.flagBuf.popOrZero()
+			lo, hi := los[k], his[k]
+			r := hi - lo
+			var v float64
+			if hi <= 0 || r < mrf*hi {
+				v = 1
+			} else {
+				v = (xd - lo) / r
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+			}
+			det.decide(emitted, v, fl, lo, hi)
+			emitted++
+		}
+	}
+	s.emitted = emitted
+}

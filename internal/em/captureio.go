@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 )
 
 // captureMagic identifies the capture file format: a fixed header followed
@@ -158,6 +159,101 @@ func (d *Decoder) Feed(p []byte, emit func(float64)) error {
 		}
 		d.emitted += int64(words)
 		p = p[words*8:]
+	}
+	return nil
+}
+
+// decodeBlockSamples sizes FeedBlock's decode scratch: 8 KiSamples =
+// 64 KiB per emit, matching the service's ingest chunk so one network
+// read usually becomes one emit.
+const decodeBlockSamples = 8192
+
+// decodeBlockPool recycles FeedBlock scratch blocks across calls and
+// decoders, so steady-state block decoding allocates nothing.
+var decodeBlockPool = sync.Pool{
+	New: func() any { b := make([]float64, decodeBlockSamples); return &b },
+}
+
+// FeedBlock consumes the next chunk of the stream like Feed, but hands
+// completed samples to emit in batches decoded into a pooled scratch
+// block: aligned whole words are decoded in bulk; only the header and
+// word fragments spanning chunk boundaries take the byte-at-a-time
+// path (those emit a one-sample block). The sequence of samples emitted
+// is bit-identical to Feed's for any chunking of the stream.
+//
+// The slice passed to emit is only valid for the duration of the call
+// and is reused afterwards — emit must consume it (e.g. feed it to
+// StreamAnalyzer.PushBlock, which retains nothing) rather than keep it.
+func (d *Decoder) FeedBlock(p []byte, emit func([]float64)) error {
+	if d.err != nil {
+		return d.err
+	}
+	if !d.hdrDone {
+		need := headerSize - len(d.hdr)
+		if need > len(p) {
+			need = len(p)
+		}
+		d.hdr = append(d.hdr, p[:need]...)
+		p = p[need:]
+		if len(d.hdr) < headerSize {
+			return nil
+		}
+		if err := d.parseHeader(); err != nil {
+			d.err = err
+			return err
+		}
+		d.hdrDone = true
+	}
+	var bp *[]float64
+	var block []float64
+	for len(p) > 0 {
+		if !d.raw && d.emitted == d.declared {
+			d.trailing += int64(len(p))
+			break
+		}
+		if d.np > 0 || len(p) < 8 {
+			n := copy(d.partial[d.np:], p)
+			d.np += n
+			p = p[n:]
+			if d.np < 8 {
+				break
+			}
+			d.np = 0
+			d.emitted++
+			if bp == nil {
+				bp = decodeBlockPool.Get().(*[]float64)
+				block = *bp
+			}
+			block[0] = math.Float64frombits(binary.LittleEndian.Uint64(d.partial[:]))
+			emit(block[:1])
+			continue
+		}
+		words := len(p) / 8
+		if !d.raw {
+			if rem := d.declared - d.emitted; int64(words) > rem {
+				words = int(rem)
+			}
+		}
+		if bp == nil {
+			bp = decodeBlockPool.Get().(*[]float64)
+			block = *bp
+		}
+		for words > 0 {
+			run := words
+			if run > decodeBlockSamples {
+				run = decodeBlockSamples
+			}
+			for i := 0; i < run; i++ {
+				block[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+			}
+			d.emitted += int64(run)
+			p = p[run*8:]
+			words -= run
+			emit(block[:run])
+		}
+	}
+	if bp != nil {
+		decodeBlockPool.Put(bp)
 	}
 	return nil
 }

@@ -106,3 +106,90 @@ func FuzzReadCapture(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecoderFeedBlock pins the block decoder against the per-sample
+// one: for any input bytes and any pair of chunkings — including both
+// wire formats — FeedBlock must emit the exact sample sequence Feed
+// does, agree on every counter (Emitted, Trailing, Complete, Meta),
+// and return the same error at the same point. Chunk invariance of
+// FeedBlock itself follows from comparing two different block
+// chunkings against one Feed reference.
+func FuzzDecoderFeedBlock(f *testing.F) {
+	f.Add([]byte{}, uint8(1), uint8(9), false)
+	f.Add([]byte(captureMagic), uint8(3), uint8(1), false)
+	var seed bytes.Buffer
+	if err := WriteCapture(&seed, &Capture{
+		Samples: []float64{1, 0.25, -3.5}, SampleRate: 40e6, ClockHz: 1e9,
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes(), uint8(7), uint8(31), false)
+	f.Add(seed.Bytes(), uint8(16), uint8(2), true)
+	// Declared count smaller than the payload → trailing bytes.
+	short := append([]byte(nil), seed.Bytes()...)
+	short[headerSize-8] = 1
+	f.Add(short, uint8(5), uint8(13), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, chunkA, chunkB uint8, raw bool) {
+		newDec := func() *Decoder {
+			if raw {
+				return NewRawDecoder()
+			}
+			return NewStreamDecoder()
+		}
+		feed := func(d *Decoder, chunk int, block bool) ([]float64, error) {
+			var out []float64
+			var err error
+			for off := 0; off < len(data) && err == nil; off += chunk {
+				end := off + chunk
+				if end > len(data) {
+					end = len(data)
+				}
+				if block {
+					err = d.FeedBlock(data[off:end], func(vs []float64) {
+						out = append(out, vs...)
+					})
+				} else {
+					err = d.Feed(data[off:end], func(v float64) { out = append(out, v) })
+				}
+			}
+			return out, err
+		}
+		check := func(name string, ref *Decoder, refOut []float64, refErr error, chunk int) {
+			d := newDec()
+			out, err := feed(d, chunk, true)
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("%s: FeedBlock err=%v, Feed err=%v", name, err, refErr)
+			}
+			if len(out) != len(refOut) {
+				t.Fatalf("%s: FeedBlock emitted %d samples, Feed %d", name, len(out), len(refOut))
+			}
+			for i := range out {
+				if math.Float64bits(out[i]) != math.Float64bits(refOut[i]) {
+					t.Fatalf("%s: sample %d: block %x, per-sample %x", name, i,
+						math.Float64bits(out[i]), math.Float64bits(refOut[i]))
+				}
+			}
+			if d.Emitted() != ref.Emitted() || d.Trailing() != ref.Trailing() ||
+				d.Complete() != ref.Complete() || d.HeaderDone() != ref.HeaderDone() {
+				t.Fatalf("%s: counters differ: emitted %d/%d trailing %d/%d complete %v/%v",
+					name, d.Emitted(), ref.Emitted(), d.Trailing(), ref.Trailing(),
+					d.Complete(), ref.Complete())
+			}
+			sr, ck, decl := d.Meta()
+			rsr, rck, rdecl := ref.Meta()
+			if math.Float64bits(sr) != math.Float64bits(rsr) ||
+				math.Float64bits(ck) != math.Float64bits(rck) || decl != rdecl {
+				t.Fatalf("%s: metadata differs", name)
+			}
+		}
+
+		ca := int(chunkA%64) + 1
+		cb := int(chunkB)*64 + 1
+		ref := newDec()
+		refOut, refErr := feed(ref, ca, false)
+		check("same-chunking", ref, refOut, refErr, ca)
+		check("cross-chunking", ref, refOut, refErr, cb)
+		check("one-shot", ref, refOut, refErr, len(data)+1)
+	})
+}

@@ -31,10 +31,18 @@ func TestIngestBenchSmall(t *testing.T) {
 	if rep.Ingest.Count != 4*8 {
 		t.Fatalf("ingest count %d, want %d pushes", rep.Ingest.Count, 4*8)
 	}
-	if rep.Snapshot.Count == 0 || rep.SamplesPerSecPerShard <= 0 {
+	if rep.Snapshot.Count == 0 || rep.SamplesPerSecPerShard <= 0 || rep.SamplesPerSecPerCore <= 0 {
 		t.Fatalf("empty stats: %+v", rep)
 	}
-	if rep.Ingest.P50Ms > rep.Ingest.P99Ms || rep.Ingest.P99Ms > rep.Ingest.MaxMs {
+	if rep.AllocsPerSample <= 0 {
+		t.Fatalf("allocs/sample not recorded: %+v", rep)
+	}
+	// 32 pushes cannot support a p99 or p999 estimate: both must be
+	// omitted, with the max recorded explicitly instead.
+	if rep.Ingest.P99Ms != 0 || rep.Ingest.P999Ms != 0 {
+		t.Fatalf("tail quantiles emitted for count=%d: %+v", rep.Ingest.Count, rep.Ingest)
+	}
+	if rep.Ingest.P50Ms <= 0 || rep.Ingest.P50Ms > rep.Ingest.MaxMs {
 		t.Fatalf("non-monotone percentiles: %+v", rep.Ingest)
 	}
 	for _, series := range []string{
@@ -61,7 +69,7 @@ func TestIngestBenchSmall(t *testing.T) {
 
 	// A run far above baseline trips the gate.
 	slow := *rep
-	slow.Ingest.P99Ms = base.Ingest.P99Ms*10 + 100
+	slow.Ingest.P50Ms = base.Ingest.P50Ms*10 + 100
 	if err := CompareIngestBench(&slow, base, GateOptions{}, io.Discard); err == nil {
 		t.Fatal("10x latency regression passed the gate")
 	}
@@ -69,5 +77,18 @@ func TestIngestBenchSmall(t *testing.T) {
 	starved.SamplesPerSecPerShard = base.SamplesPerSecPerShard / 10
 	if err := CompareIngestBench(&starved, base, GateOptions{}, io.Discard); err == nil {
 		t.Fatal("10x throughput collapse passed the gate")
+	}
+	leaky := *rep
+	leaky.AllocsPerSample = base.AllocsPerSample*10 + 1
+	if err := CompareIngestBench(&leaky, base, GateOptions{}, io.Discard); err == nil {
+		t.Fatal("10x allocation regression passed the gate")
+	}
+	// A quantile unsupported on either side is skipped, not gated: a
+	// current run too small to emit p99 must still self-compare clean
+	// against a legacy baseline that recorded one.
+	legacy := *base
+	legacy.Ingest.P999Ms = legacy.Ingest.MaxMs
+	if err := CompareIngestBench(rep, &legacy, GateOptions{}, io.Discard); err != nil {
+		t.Fatalf("unsupported quantile was gated: %v", err)
 	}
 }

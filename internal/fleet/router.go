@@ -91,6 +91,22 @@ type shardHealth struct {
 	down  bool
 }
 
+// defaultRelayClient carries proxied traffic for routers that did not
+// supply their own client. Relayed ingest bodies run to hundreds of
+// kilobytes; the enlarged transport buffers move a full chunk per write
+// syscall instead of the stock 4 KiB. Shared across routers so idle
+// shard connections pool, as they did with http.DefaultClient.
+var defaultRelayClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        100,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+		WriteBufferSize:     256 << 10,
+		ReadBufferSize:      256 << 10,
+	},
+}
+
 // NewRouter builds a router over the configured shards.
 func NewRouter(cfg Config) (*Router, error) {
 	if len(cfg.Shards) == 0 {
@@ -121,7 +137,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		overrides: make(map[string]string),
 	}
 	if rt.client == nil {
-		rt.client = http.DefaultClient
+		rt.client = defaultRelayClient
 	}
 	for _, s := range rt.ring.Shards() {
 		rt.health[s] = &shardHealth{}
@@ -326,6 +342,12 @@ func (rt *Router) forward(r *http.Request, shard string, body []byte) (*http.Res
 	return rt.client.Do(req)
 }
 
+// relayBufPool recycles the response-copy buffers relay uses; the copy
+// is synchronous, so a buffer is always safe to return when it ends.
+var relayBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 32*1024); return &b },
+}
+
 // relay copies a shard response — status, headers, body — to the client.
 func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
@@ -335,7 +357,9 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	bp := relayBufPool.Get().(*[]byte)
+	io.CopyBuffer(w, resp.Body, *bp)
+	relayBufPool.Put(bp)
 }
 
 func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -375,27 +399,55 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 	rt.proxy(w, r2, owner)
 }
 
-// maxSessionBody bounds the buffered copy of a proxied session request
-// kept for ownership-race replay.
-const maxSessionBody = 256 << 20
+// replaySessionBody bounds the bodies proxySession buffers for
+// ownership-race replay. Bodies above it — and bodies of unknown
+// length — are streamed straight through to the owner instead of being
+// held in router memory (the old path io.ReadAll-buffered every proxied
+// request, up to 256 MiB each).
+const replaySessionBody = 4 << 20
+
+// replayBufPool recycles the bounded replay buffers across proxied
+// requests. A buffer is returned ONLY after the forwarded request
+// succeeded end to end: on any error or non-2xx path the transport's
+// write loop may still be draining the bytes.Reader asynchronously, so
+// the buffer is dropped to the garbage collector instead.
+var replayBufPool sync.Pool
 
 // proxySession forwards a per-session route to its owner and returns
-// the status written to the client. The body is buffered so the request
-// can be replayed: a hand-off can land between owner resolution and
-// delivery — the request reaches the old shard after Forget and draws a
-// 404 even though the session is alive on its new owner — so a 404
-// re-resolves ownership and retries once if it moved. A genuine unknown
-// session resolves to the same owner twice and the 404 is relayed
-// as-is.
+// the status written to the client. Bodies of known, bounded size are
+// buffered (in a pooled buffer) so the request can be replayed: a
+// hand-off can land between owner resolution and delivery — the request
+// reaches the old shard after Forget and draws a 404 even though the
+// session is alive on its new owner — so a 404 re-resolves ownership
+// and retries once if it moved. A genuine unknown session resolves to
+// the same owner twice and the 404 is relayed as-is. Oversized or
+// length-less bodies skip the replay: they stream to the first resolved
+// owner, and an ownership-race 404 is relayed for the client's own
+// retry to resolve (the emprof client offset-tags its pushes, so its
+// retry is loss- and duplicate-free either way).
 //
 // Like proxy, a Do failure answers 504 — the shard may have consumed
 // part of the body — while the pre-send marked-down check answers 502,
 // safe for even untagged pushes to retry.
 func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request, id string) int {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxSessionBody))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "fleet: reading body: %v", err)
-		return http.StatusBadRequest
+	if r.ContentLength < 0 || r.ContentLength > replaySessionBody {
+		return rt.proxySessionStream(w, r, id)
+	}
+	var body []byte
+	var bp *[]byte
+	if r.ContentLength > 0 {
+		bp, _ = replayBufPool.Get().(*[]byte)
+		if bp == nil {
+			bp = new([]byte)
+		}
+		if int64(cap(*bp)) < r.ContentLength {
+			*bp = make([]byte, r.ContentLength)
+		}
+		body = (*bp)[:r.ContentLength]
+		if _, err := io.ReadFull(r.Body, body); err != nil {
+			writeError(w, http.StatusBadRequest, "fleet: reading body: %v", err)
+			return http.StatusBadRequest
+		}
 	}
 	rt.proxiedTotal.Add(1)
 	shard := rt.owner(id)
@@ -421,6 +473,41 @@ func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request, id string
 				return http.StatusGatewayTimeout
 			}
 		}
+	}
+	relay(w, resp)
+	if bp != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		replayBufPool.Put(bp)
+	}
+	return resp.StatusCode
+}
+
+// proxySessionStream forwards a session request without buffering its
+// body: no replay is possible, so an ownership-race 404 is relayed
+// as-is for the client to retry against the router (which re-resolves).
+func (rt *Router) proxySessionStream(w http.ResponseWriter, r *http.Request, id string) int {
+	rt.proxiedTotal.Add(1)
+	shard := rt.owner(id)
+	if rt.isDown(shard) {
+		rt.proxyErrors.Add(1)
+		writeError(w, http.StatusBadGateway, "fleet: shard %s marked down", shard)
+		return http.StatusBadGateway
+	}
+	url := shard + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "fleet: %v", err)
+		return http.StatusBadRequest
+	}
+	req.Header = r.Header.Clone()
+	req.ContentLength = r.ContentLength
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.proxyErrors.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "fleet: shard %s unreachable: %v", shard, err)
+		return http.StatusGatewayTimeout
 	}
 	relay(w, resp)
 	return resp.StatusCode

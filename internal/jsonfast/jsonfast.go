@@ -1,0 +1,184 @@
+// Package jsonfast holds the tiny append/parse primitives shared by the
+// hand-rolled JSON codecs on the ingest hot path (core.StallList,
+// core.Profile, service.Snapshot). Every appender replicates
+// encoding/json's output byte for byte — same float formatting, same
+// HTML-escaped strings — so handwritten and reflection-encoded values
+// are indistinguishable on the wire; the parsers accept exactly the
+// compact shape those appenders emit and report !ok for anything else,
+// letting callers fall back to the stdlib decoder.
+package jsonfast
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// AppendFloat appends f formatted exactly as encoding/json formats a
+// float64: shortest round-trip decimal, switching to scientific notation
+// with a minimal exponent outside [1e-6, 1e21).
+func AppendFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("jsonfast: unsupported value %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Trim the leading zero of a two-digit exponent ("e-09" → "e-9"),
+		// as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+// AppendString appends s as a JSON string exactly as encoding/json does
+// with its default HTML escaping. Strings of plain printable ASCII take
+// the fast path; anything needing escapes (control characters, quotes,
+// backslashes, <, >, &, non-ASCII) routes through the stdlib encoder.
+func AppendString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			// json.Marshal on a string cannot fail.
+			enc, _ := json.Marshal(s)
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// Eat matches the literal lit at data[i], returning the index past it.
+func Eat(data []byte, i int, lit string) (int, bool) {
+	if i+len(lit) > len(data) || string(data[i:i+len(lit)]) != lit {
+		return i, false
+	}
+	return i + len(lit), true
+}
+
+// NumEnd scans the span of JSON number characters starting at i.
+func NumEnd(data []byte, i int) int {
+	for i < len(data) {
+		switch c := data[i]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// Int parses a decimal integer at data[i]. Plain runs of up to 18
+// digits are decoded in place without the string conversion
+// strconv.ParseInt needs; longer or signed-edge inputs take the strconv
+// path.
+func Int(data []byte, i int) (int64, int, bool) {
+	j := i
+	neg := false
+	if j < len(data) && data[j] == '-' {
+		neg = true
+		j++
+	}
+	start := j
+	var v int64
+	for j < len(data) && j-start < 18 {
+		c := data[j]
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + int64(c-'0')
+		j++
+	}
+	if j > start && (j == len(data) || !isNumChar(data[j])) {
+		if neg {
+			v = -v
+		}
+		return v, j, true
+	}
+	// 19+ digits (possible overflow) or a non-integer tail: let strconv
+	// decide validity.
+	j = NumEnd(data, i)
+	if j == i {
+		return 0, i, false
+	}
+	v, err := strconv.ParseInt(string(data[i:j]), 10, 64)
+	if err != nil {
+		return 0, i, false
+	}
+	return v, j, true
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+}
+
+// Float parses a JSON number at data[i].
+func Float(data []byte, i int) (float64, int, bool) {
+	j := NumEnd(data, i)
+	if j == i {
+		return 0, i, false
+	}
+	v, err := strconv.ParseFloat(string(data[i:j]), 64)
+	if err != nil {
+		return 0, i, false
+	}
+	return v, j, true
+}
+
+// Bool parses a JSON boolean at data[i].
+func Bool(data []byte, i int) (bool, int, bool) {
+	if i+4 <= len(data) && string(data[i:i+4]) == "true" {
+		return true, i + 4, true
+	}
+	if i+5 <= len(data) && string(data[i:i+5]) == "false" {
+		return false, i + 5, true
+	}
+	return false, i, false
+}
+
+// String parses a JSON string at data[i]. Only escape-free printable
+// ASCII takes the fast path; escaped or non-ASCII content reports !ok so
+// the caller falls back to the stdlib decoder.
+func String(data []byte, i int) (string, int, bool) {
+	if i >= len(data) || data[i] != '"' {
+		return "", i, false
+	}
+	for j := i + 1; j < len(data); j++ {
+		c := data[j]
+		if c == '"' {
+			return string(data[i+1 : j]), j + 1, true
+		}
+		if c == '\\' || c < 0x20 || c >= 0x80 {
+			return "", i, false
+		}
+	}
+	return "", i, false
+}
+
+// TrimSpace strips leading/trailing JSON whitespace, so codecs accept
+// the trailing newline http encoders append without losing the fast
+// path.
+func TrimSpace(data []byte) []byte {
+	i, j := 0, len(data)
+	for i < j && isSpace(data[i]) {
+		i++
+	}
+	for j > i && isSpace(data[j-1]) {
+		j--
+	}
+	return data[i:j]
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}

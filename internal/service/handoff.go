@@ -168,6 +168,7 @@ func (r *Registry) Import(st *SessionState) error {
 		created:    created,
 		lastActive: now,
 		an:         an,
+		emit:       an.PushBlock,
 		dec:        dec,
 		bytes:      st.Bytes,
 		ring:       r.newRing(an),

@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"emprof/internal/core"
@@ -23,7 +24,17 @@ const ContentTypeCapture = "application/x-emprofcap"
 const ContentTypeRaw = "application/octet-stream"
 
 // ingestChunk sizes the per-read transfer buffer for sample ingest.
-const ingestChunk = 64 * 1024
+// 256 KiB keeps the read-syscall count low for the multi-hundred-KiB
+// bodies streaming clients push while staying a modest per-connection
+// cost (the buffers are pooled).
+const ingestChunk = 256 * 1024
+
+// ingestBufPool recycles the 64 KiB ingest transfer buffers across
+// requests; handleIngest is the hot path of the whole daemon and used to
+// allocate one per call.
+var ingestBufPool = sync.Pool{
+	New: func() any { b := make([]byte, ingestChunk); return &b },
+}
 
 // Server ties the registry, metrics, and HTTP handlers together.
 type Server struct {
@@ -136,8 +147,37 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// jsonAppender is the fast-encode hook writeJSON looks for: types that
+// can serialize themselves without the stdlib's reflection walk
+// (Snapshot, core.Profile) implement it with byte-identical output.
+type jsonAppender interface {
+	AppendJSON(b []byte) ([]byte, error)
+}
+
+// respBufPool recycles response-encode buffers across requests; profile
+// snapshots can run to hundreds of kilobytes and are requested every few
+// pushes on the ingest hot path.
+var respBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if a, ok := v.(jsonAppender); ok {
+		bp := respBufPool.Get().(*[]byte)
+		if b, err := a.AppendJSON((*bp)[:0]); err == nil {
+			// Same framing as json.Encoder.Encode, plus an explicit
+			// Content-Length so the client can size its read buffer.
+			b = append(b, '\n')
+			w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+			w.WriteHeader(code)
+			w.Write(b)
+			*bp = b
+			respBufPool.Put(bp)
+			return
+		}
+		respBufPool.Put(bp)
+	}
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
@@ -242,7 +282,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		offset = v
 	}
-	buf := make([]byte, ingestChunk)
+	bp := ingestBufPool.Get().(*[]byte)
+	defer ingestBufPool.Put(bp)
+	buf := *bp
 	next := func() ([]byte, error) {
 		n, rerr := io.ReadFull(r.Body, buf)
 		if rerr == io.ErrUnexpectedEOF {
@@ -316,12 +358,23 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.reg.Snapshot(r.PathValue("id"))
+	// Encoded under the session lock into a pooled buffer (see
+	// Registry.SnapshotJSON); the response bytes match what writeJSON
+	// produces for a Registry.Snapshot result exactly.
+	bp := respBufPool.Get().(*[]byte)
+	b, err := s.reg.SnapshotJSON(r.PathValue("id"), (*bp)[:0])
 	if err != nil {
+		respBufPool.Put(bp)
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, snap)
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	*bp = b
+	respBufPool.Put(bp)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -126,7 +126,11 @@ type session struct {
 	mu         sync.Mutex
 	lastActive time.Time
 	an         *core.StreamAnalyzer
-	dec        *em.Decoder // nil until the first ingest chooses a wire format
+	// emit is an.PushBlock bound once at session creation, so the hot
+	// ingest loop passes a prebuilt func value to the decoder instead of
+	// allocating a closure per request.
+	emit func([]float64)
+	dec  *em.Decoder // nil until the first ingest chooses a wire format
 	bytes      int64
 	finalized  bool
 	final      *core.Profile
@@ -238,6 +242,7 @@ func (r *Registry) CreateWithID(id, device string, sampleRate, clockHz float64, 
 		created:    now,
 		lastActive: now,
 		an:         an,
+		emit:       an.PushBlock,
 		ring:       r.newRing(an),
 	}
 	r.sessions[s.id] = s
@@ -387,7 +392,6 @@ func (r *Registry) ingest(s *session, format wireFormat, declaredLen, offset int
 		skip = (cur - offset) * 8
 		s.dec.DropFragment()
 	}
-	emit := func(v float64) { s.an.Push(v) }
 	for {
 		chunk, err := next()
 		if skip > 0 && len(chunk) > 0 {
@@ -403,7 +407,7 @@ func (r *Registry) ingest(s *session, format wireFormat, declaredLen, offset int
 				return r.ingestTotals(s), ErrBudget
 			}
 			before := s.dec.Emitted()
-			if derr := s.dec.Feed(chunk, emit); derr != nil {
+			if derr := s.dec.FeedBlock(chunk, s.emit); derr != nil {
 				s.poison = derr
 				return r.ingestTotals(s), derr
 			}
@@ -487,14 +491,49 @@ func (r *Registry) Snapshot(id string) (*Snapshot, error) {
 	return s.snapshotLocked(), nil
 }
 
+// SnapshotJSON encodes the live profile of a session straight into buf,
+// producing exactly the bytes Snapshot would marshal to. The encode runs
+// under the session lock over a clone-free profile view, so a large
+// stall list is serialised without first being copied (and zeroed) —
+// the dominant cost of the profile endpoint on long sessions.
+func (r *Registry) SnapshotJSON(id string, buf []byte) ([]byte, error) {
+	s, err := r.get(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pinned {
+		return nil, ErrPinned
+	}
+	s.lastActive = r.cfg.Now()
+	var prof *core.Profile
+	if s.final == nil {
+		view := s.an.SnapshotView()
+		prof = &view
+	}
+	snap := s.buildSnapshotLocked(prof)
+	return snap.AppendJSON(buf)
+}
+
 func (s *session) snapshotLocked() *Snapshot {
+	var prof *core.Profile
+	if s.final == nil {
+		prof = s.an.Snapshot()
+	}
+	return s.buildSnapshotLocked(prof)
+}
+
+// buildSnapshotLocked assembles the snapshot around a profile view of
+// the analyzer (cloned or clone-free); finalized sessions pass nil and
+// use the stored final profile instead.
+func (s *session) buildSnapshotLocked(prof *core.Profile) *Snapshot {
 	state := "active"
 	if s.finalized {
 		state = "finalized"
 	}
-	prof := s.final
 	if prof == nil {
-		prof = s.an.Snapshot()
+		prof = s.final
 	}
 	snap := &Snapshot{
 		ID:              s.id,

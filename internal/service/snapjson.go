@@ -1,0 +1,149 @@
+package service
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"emprof/internal/core"
+	"emprof/internal/jsonfast"
+)
+
+// AppendJSON appends the snapshot encoded exactly as encoding/json
+// renders it — same tag-derived keys, omitempty device, HTML-escaped
+// strings — so the profile endpoints can respond without the stdlib's
+// reflection walk. Byte-identity is property-tested in snapjson_test.go.
+func (s *Snapshot) AppendJSON(b []byte) ([]byte, error) {
+	var err error
+	b = append(b, `{"id":`...)
+	b = jsonfast.AppendString(b, s.ID)
+	if s.Device != "" {
+		b = append(b, `,"device":`...)
+		b = jsonfast.AppendString(b, s.Device)
+	}
+	b = append(b, `,"state":`...)
+	b = jsonfast.AppendString(b, s.State)
+	b = append(b, `,"samples_ingested":`...)
+	b = strconv.AppendInt(b, s.SamplesIngested, 10)
+	b = append(b, `,"samples_decided":`...)
+	b = strconv.AppendInt(b, s.SamplesDecided, 10)
+	b = append(b, `,"bytes_ingested":`...)
+	b = strconv.AppendInt(b, s.BytesIngested, 10)
+	b = append(b, `,"profile":`...)
+	if s.Profile == nil {
+		b = append(b, "null"...)
+	} else if b, err = s.Profile.AppendJSON(b); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"mean_confidence":`...)
+	if b, err = jsonfast.AppendFloat(b, s.MeanConfidence); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"confidence_hist":[`...)
+	for i, v := range s.ConfidenceHist {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return append(b, "]}"...), nil
+}
+
+// UnmarshalJSON decodes a snapshot: the fast path accepts exactly the
+// compact shape AppendJSON (and the stdlib) emits, everything else falls
+// back to the reflection decoder.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	data = jsonfast.TrimSpace(data)
+	if out, ok := parseSnapshotFast(data); ok {
+		*s = out
+		return nil
+	}
+	// plainSnapshot shadows Snapshot without its methods so the fallback
+	// cannot recurse; decoding starts from the current value to keep the
+	// stdlib's merge semantics for partial objects.
+	type plainSnapshot Snapshot
+	out := plainSnapshot(*s)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return err
+	}
+	*s = Snapshot(out)
+	return nil
+}
+
+func parseSnapshotFast(data []byte) (Snapshot, bool) {
+	var s Snapshot
+	var ok bool
+	i := 0
+	if i, ok = jsonfast.Eat(data, i, `{"id":`); !ok {
+		return s, false
+	}
+	if s.ID, i, ok = jsonfast.String(data, i); !ok {
+		return s, false
+	}
+	if j, present := jsonfast.Eat(data, i, `,"device":`); present {
+		if s.Device, i, ok = jsonfast.String(data, j); !ok {
+			return s, false
+		}
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"state":`); !ok {
+		return s, false
+	}
+	if s.State, i, ok = jsonfast.String(data, i); !ok {
+		return s, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"samples_ingested":`); !ok {
+		return s, false
+	}
+	if s.SamplesIngested, i, ok = jsonfast.Int(data, i); !ok {
+		return s, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"samples_decided":`); !ok {
+		return s, false
+	}
+	if s.SamplesDecided, i, ok = jsonfast.Int(data, i); !ok {
+		return s, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"bytes_ingested":`); !ok {
+		return s, false
+	}
+	if s.BytesIngested, i, ok = jsonfast.Int(data, i); !ok {
+		return s, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"profile":`); !ok {
+		return s, false
+	}
+	if j, isNull := jsonfast.Eat(data, i, "null"); isNull {
+		i = j
+	} else {
+		prof, j, ok := core.ParseProfileJSON(data, i)
+		if !ok {
+			return s, false
+		}
+		s.Profile = &prof
+		i = j
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"mean_confidence":`); !ok {
+		return s, false
+	}
+	if s.MeanConfidence, i, ok = jsonfast.Float(data, i); !ok {
+		return s, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"confidence_hist":[`); !ok {
+		return s, false
+	}
+	for k := range s.ConfidenceHist {
+		if k > 0 {
+			if i, ok = jsonfast.Eat(data, i, ","); !ok {
+				return s, false
+			}
+		}
+		var n int64
+		if n, i, ok = jsonfast.Int(data, i); !ok {
+			return s, false
+		}
+		s.ConfidenceHist[k] = int(n)
+	}
+	if i, ok = jsonfast.Eat(data, i, "]}"); !ok || i != len(data) {
+		return s, false
+	}
+	return s, true
+}

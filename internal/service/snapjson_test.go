@@ -1,0 +1,152 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"emprof/internal/core"
+	"emprof/internal/sim"
+)
+
+func randomSnapshot(rng *sim.RNG) *Snapshot {
+	ids := []string{"s1", "bench-0042", "", "weird id", `esc"ape`, "emoji-✓", "a<b&c>d", "tab\tchar"}
+	s := &Snapshot{
+		ID:              ids[rng.Uint64()%uint64(len(ids))],
+		State:           "active",
+		SamplesIngested: int64(rng.Uint64() % (1 << 40)),
+		SamplesDecided:  int64(rng.Uint64() % (1 << 40)),
+		BytesIngested:   int64(rng.Uint64() % (1 << 50)),
+		MeanConfidence:  float64(rng.Uint64()%1000) / 1000,
+	}
+	if rng.Uint64()%2 == 0 {
+		s.Device = ids[rng.Uint64()%uint64(len(ids))]
+	}
+	if rng.Uint64()%2 == 0 {
+		s.State = "finalized"
+	}
+	for i := range s.ConfidenceHist {
+		s.ConfidenceHist[i] = int(rng.Uint64() % 5000)
+	}
+	if rng.Uint64()%4 != 0 {
+		prof := &core.Profile{
+			Stalls:      core.StallList{},
+			SampleRate:  4e7,
+			ClockHz:     1e9,
+			ExecCycles:  float64(rng.Uint64() % (1 << 30)),
+			StallCycles: 1.0 / 3.0,
+			Quality:     core.Quality{Samples: int64(rng.Uint64() % (1 << 32))},
+		}
+		for k := uint64(0); k < rng.Uint64()%4; k++ {
+			prof.Stalls = append(prof.Stalls, core.Stall{
+				StartSample: int(rng.Uint64() % 100000),
+				EndSample:   int(rng.Uint64() % 100000),
+				StartS:      float64(rng.Uint64()%100000) / 4e7,
+				DurationS:   2.5e-7,
+				Cycles:      250,
+				Depth:       0.77,
+				Refresh:     rng.Uint64()%2 == 0,
+				Confidence:  0.9,
+			})
+		}
+		if rng.Uint64()%5 == 0 {
+			prof.Stalls = nil
+		}
+		s.Profile = prof
+	}
+	return s
+}
+
+// rawSnapshot mirrors Snapshot's tags with a reflection-only profile
+// payload, so the stdlib produces reference bytes with no custom codec
+// in reach (Stalls still routes through StallList, which is itself
+// pinned byte-identical in core's tests).
+type rawSnapshot struct {
+	ID              string        `json:"id"`
+	Device          string        `json:"device,omitempty"`
+	State           string        `json:"state"`
+	SamplesIngested int64         `json:"samples_ingested"`
+	SamplesDecided  int64         `json:"samples_decided"`
+	BytesIngested   int64         `json:"bytes_ingested"`
+	Profile         *core.Profile `json:"profile"`
+	MeanConfidence  float64       `json:"mean_confidence"`
+	ConfidenceHist  [10]int       `json:"confidence_hist"`
+}
+
+// TestSnapshotAppendJSONMatchesStdlib pins the fast encoder's
+// wire-compatibility: byte-identical to encoding/json for any snapshot,
+// including omitted devices, nil profiles, and strings that need the
+// stdlib's HTML escaping.
+func TestSnapshotAppendJSONMatchesStdlib(t *testing.T) {
+	rng := sim.NewRNG(4242)
+	for i := 0; i < 300; i++ {
+		s := randomSnapshot(rng)
+		got, err := s.AppendJSON(nil)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		want, err := json.Marshal((*rawSnapshot)(s))
+		if err != nil {
+			t.Fatalf("snapshot %d: stdlib: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("snapshot %d: wire bytes differ\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+// TestSnapshotUnmarshalRoundTrip pins decode correctness over both
+// paths: the compact wire shape round-trips exactly (with and without
+// the response framing newline), and whitespace or reordered fields
+// fall back to the stdlib decoder.
+func TestSnapshotUnmarshalRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(77)
+	for i := 0; i < 300; i++ {
+		s := randomSnapshot(rng)
+		blob, err := s.AppendJSON(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Snapshot
+		if err := back.UnmarshalJSON(append(blob, '\n')); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if !snapshotsEqual(s, &back) {
+			t.Fatalf("snapshot %d: round trip differs\nin:  %+v\nout: %+v", i, s, &back)
+		}
+	}
+
+	in := `{"state":"active","id":"x","samples_ingested":1,"samples_decided":2,` +
+		`"bytes_ingested":3,"profile":null,"mean_confidence":0.5,` +
+		`"confidence_hist":[0,1,2,3,4,5,6,7,8,9],"future_field":true}`
+	var got Snapshot
+	if err := json.Unmarshal([]byte(in), &got); err != nil {
+		t.Fatalf("fallback: %v", err)
+	}
+	want := Snapshot{ID: "x", State: "active", SamplesIngested: 1, SamplesDecided: 2,
+		BytesIngested: 3, MeanConfidence: 0.5,
+		ConfidenceHist: [10]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback: got %+v want %+v", got, want)
+	}
+}
+
+func snapshotsEqual(a, b *Snapshot) bool {
+	if a.ID != b.ID || a.Device != b.Device || a.State != b.State ||
+		a.SamplesIngested != b.SamplesIngested || a.SamplesDecided != b.SamplesDecided ||
+		a.BytesIngested != b.BytesIngested || a.ConfidenceHist != b.ConfidenceHist ||
+		math.Float64bits(a.MeanConfidence) != math.Float64bits(b.MeanConfidence) {
+		return false
+	}
+	if (a.Profile == nil) != (b.Profile == nil) {
+		return false
+	}
+	if a.Profile == nil {
+		return true
+	}
+	ab, err1 := a.Profile.AppendJSON(nil)
+	bb, err2 := b.Profile.AppendJSON(nil)
+	return err1 == nil && err2 == nil && bytes.Equal(ab, bb)
+}
