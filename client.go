@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -85,11 +86,46 @@ type Client struct {
 	// ChunkSamples is the number of samples per upload request in
 	// StreamCapture (default 65536, i.e. 512 KiB bodies).
 	ChunkSamples int
+	// UserAgent, when non-empty, is sent as the User-Agent header on
+	// every request (default: Go's http package default).
+	UserAgent string
 }
 
-// NewClient returns a client for the daemon at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL}
+// ClientOption configures a Client at construction; see WithHTTPClient,
+// WithRetryPolicy and WithUserAgent. The Client's exported fields remain
+// settable directly — options are the same knobs in composable form.
+type ClientOption func(*Client)
+
+// WithHTTPClient makes the client issue requests through hc instead of
+// the package's shared pooled transport.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.HTTPClient = hc }
+}
+
+// WithRetryPolicy bounds retries at maxRetries attempts with full-jitter
+// exponential backoff from baseDelay (attempt n sleeps uniform in
+// [0, baseDelay<<n]). Non-positive values keep the defaults (4 retries,
+// 100ms base).
+func WithRetryPolicy(maxRetries int, baseDelay time.Duration) ClientOption {
+	return func(c *Client) {
+		c.MaxRetries = maxRetries
+		c.RetryBaseDelay = baseDelay
+	}
+}
+
+// WithUserAgent sets the User-Agent header sent with every request.
+func WithUserAgent(ua string) ClientOption {
+	return func(c *Client) { c.UserAgent = ua }
+}
+
+// NewClient returns a client for the daemon (or fleet router) at
+// baseURL, configured by the given options.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{BaseURL: baseURL}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // defaultHTTPClient backs every Client that did not bring its own. The
@@ -199,6 +235,9 @@ func (c *Client) do(ctx context.Context, mode retryMode, method, path, contentTy
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if c.UserAgent != "" {
+			req.Header.Set("User-Agent", c.UserAgent)
 		}
 		for k, vs := range hdr {
 			for _, v := range vs {
@@ -482,4 +521,61 @@ func (c *Client) ListSessions(ctx context.Context) ([]SessionInfo, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ProfilesRequest selects a slice of a session's rolling profile
+// windows. The zero value asks for every retained window.
+type ProfilesRequest struct {
+	// From and To bound the query in stream seconds: windows overlapping
+	// [From, To) are returned. Zero means unbounded on that side.
+	From, To float64
+	// Limit caps the page size; pair with After to walk the sequence.
+	Limit int
+	// After is the pagination cursor: only windows with a strictly
+	// greater index are returned. Pass a ProfilesResponse's NextAfter to
+	// fetch the next page; leave 0 (or negative) to start at the front.
+	After int64
+	// Last, when positive, asks for the newest Last windows instead of
+	// the oldest — what a live "tail" display wants.
+	Last int
+}
+
+// ProfilesResponse is the daemon's answer to a Profiles query: the
+// session's retained rolling windows, oldest first, with pagination
+// cursors. MergeWindows over a session's complete tumbling sequence
+// reproduces its Finalize profile exactly.
+type ProfilesResponse = service.ProfilesResponse
+
+// Profiles fetches a session's rolling profile windows — the continuous
+// profiling timeline — from a daemon or a fleet router (which reassembles
+// windows scattered across shards by hand-offs). Sessions remain
+// queryable after Finalize for as long as the daemon's window store
+// retains them; a query for a range that retention already evicted
+// reports ErrWindowNotRetained.
+func (c *Client) Profiles(ctx context.Context, id string, req ProfilesRequest) (*ProfilesResponse, error) {
+	q := url.Values{}
+	if req.From > 0 {
+		q.Set("from", strconv.FormatFloat(req.From, 'g', -1, 64))
+	}
+	if req.To > 0 {
+		q.Set("to", strconv.FormatFloat(req.To, 'g', -1, 64))
+	}
+	if req.Limit > 0 {
+		q.Set("limit", strconv.Itoa(req.Limit))
+	}
+	if req.After > 0 {
+		q.Set("after", strconv.FormatInt(req.After, 10))
+	}
+	if req.Last > 0 {
+		q.Set("last", strconv.Itoa(req.Last))
+	}
+	path := "/v1/sessions/" + id + "/profiles"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp ProfilesResponse
+	if err := c.do(ctx, retryAll, http.MethodGet, path, "", nil, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }

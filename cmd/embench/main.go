@@ -55,6 +55,7 @@ func realMain() int {
 		benchIngestShards   = flag.Int("bench-ingest-shards", 0, "fleet shard count (0 = default 2)")
 		benchIngestSessions = flag.Int("bench-ingest-sessions", 0, "concurrent capture streams (0 = default 16, or 4 with -quick)")
 		benchIngestSamples  = flag.Int("bench-ingest-samples", 0, "samples per stream (0 = default 240000, or 40000 with -quick)")
+		benchWindows        = flag.Float64("bench-windows", 0, "with -bench-ingest: enable continuous profiling with rolling windows of this width in stream seconds (0 = off); each session's merged window sequence is verified against the batch profile")
 		benchLatencyFloor   = flag.Float64("bench-latency-floor", 0, "absolute ms slack on top of the ingest latency ratio (0 = default 2, negative disables)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -119,6 +120,7 @@ func realMain() int {
 			Sessions:          *benchIngestSessions,
 			SamplesPerSession: *benchIngestSamples,
 			Rebalance:         true,
+			WindowS:           *benchWindows,
 		}
 		if *quick {
 			if opts.Sessions == 0 {

@@ -7,6 +7,15 @@
 //	emprof -i run.cap -enter 0.3 -min-stall 120e-9
 //	emprof -i long.cap -workers 0      # parallel analysis, same results
 //	emprof -i run.cap -trace out.jsonl # record every analyzer decision
+//
+// The `top` subcommand watches a live emprofd daemon (or fleet router)
+// instead of a capture file: it refreshes a table of the live sessions —
+// or, with -session, one session's rolling profile windows — from the
+// continuous-profiling endpoint:
+//
+//	emprof top -url http://localhost:7979
+//	emprof top -url http://localhost:7979 -session 3f2a... -last 20
+//	emprof top -once             # single frame, script/CI friendly
 package main
 
 import (
@@ -21,6 +30,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
+		return
+	}
 	var (
 		in       = flag.String("i", "capture.cap", "input capture file")
 		enter    = flag.Float64("enter", 0, "override dip-entry threshold (0 = default)")

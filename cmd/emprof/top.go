@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"emprof"
+	"emprof/internal/version"
+)
+
+// runTop implements `emprof top`: a live, top(1)-style view of an
+// emprofd daemon or fleet router. Without -session it tabulates the
+// fleet's sessions with each one's newest profile window; with -session
+// it tails that session's rolling windows — the continuous-profiling
+// timeline served by GET /v1/sessions/{id}/profiles. -once renders a
+// single frame without clearing the terminal, for scripts and CI.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("emprof top", flag.ExitOnError)
+	var (
+		url      = fs.String("url", "http://localhost:7979", "emprofd daemon or fleet router base URL")
+		session  = fs.String("session", "", "tail one session's rolling windows instead of listing all sessions")
+		interval = fs.Duration("interval", 2*time.Second, "refresh interval")
+		last     = fs.Int("last", 10, "with -session: newest windows to show")
+		once     = fs.Bool("once", false, "render one frame and exit (no screen clearing)")
+	)
+	fs.Parse(args)
+
+	client := emprof.NewClient(*url, emprof.WithUserAgent("emprof-top/"+version.Version))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for {
+		var buf strings.Builder
+		var err error
+		if *session != "" {
+			err = renderSessionTop(ctx, &buf, client, *session, *last)
+		} else {
+			err = renderFleetTop(ctx, &buf, client)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if !*once {
+			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear screen
+		}
+		os.Stdout.WriteString(buf.String())
+		if *once {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// renderFleetTop draws the all-sessions table: one row per live session,
+// joined with its newest profile window when the daemon runs continuous
+// profiling.
+func renderFleetTop(ctx context.Context, w *strings.Builder, client *emprof.Client) error {
+	infos, err := client.ListSessions(ctx)
+	if err != nil {
+		return err
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].CreatedAt.Before(infos[j].CreatedAt) })
+	fmt.Fprintf(w, "emprof top — %d session(s)\n\n", len(infos))
+	fmt.Fprintf(w, "%-16s %-10s %-9s %12s %8s %12s %8s  %s\n",
+		"SESSION", "DEVICE", "STATE", "SAMPLES", "STALLS", "WIN STALL%", "WINDOWS", "LAST WINDOW")
+	for _, in := range infos {
+		winCol, stallPct, lastCol := "-", "-", "-"
+		// The newest window, if the daemon windows this session. A daemon
+		// without windowing answers an empty 200; one predating the
+		// endpoint answers a bare 404 — both render as "-".
+		if resp, err := client.Profiles(ctx, in.ID, emprof.ProfilesRequest{Last: 1}); err == nil && len(resp.Windows) > 0 {
+			win := resp.Windows[len(resp.Windows)-1]
+			winCol = fmt.Sprintf("%d", resp.LatestIndex+1)
+			stallPct = fmt.Sprintf("%.2f%%", 100*windowStallFraction(win))
+			lastCol = fmt.Sprintf("[%.3f, %.3f) ms  %d misses", win.StartS*1e3, win.EndS*1e3, win.Misses)
+		}
+		fmt.Fprintf(w, "%-16s %-10s %-9s %12d %8d %12s %8s  %s\n",
+			shortID(in.ID), in.Device, in.State, in.SamplesIngested, in.Stalls, stallPct, winCol, lastCol)
+	}
+	return nil
+}
+
+// renderSessionTop draws one session's window tail, newest last.
+func renderSessionTop(ctx context.Context, w *strings.Builder, client *emprof.Client, id string, last int) error {
+	resp, err := client.Profiles(ctx, id, emprof.ProfilesRequest{Last: last})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "emprof top — session %s (%s), %d window(s) retained\n\n",
+		shortID(id), resp.State, resp.LatestIndex+1)
+	fmt.Fprintf(w, "%6s %20s %8s %8s %12s %8s  %s\n",
+		"WINDOW", "SPAN (ms)", "MISSES", "REFRESH", "STALL CYC", "STALL%", "TOP REGION")
+	for _, win := range resp.Windows {
+		region := "-"
+		if len(win.Regions) > 0 {
+			top := win.Regions[0]
+			for _, r := range win.Regions[1:] {
+				if r.StallCycles > top.StallCycles {
+					top = r
+				}
+			}
+			region = top.Name
+			if region == "" {
+				region = fmt.Sprintf("region %d", top.Region)
+			}
+			region = fmt.Sprintf("%s (%d misses)", region, top.Misses)
+		}
+		idx := fmt.Sprintf("%d", win.Index)
+		if win.Final {
+			idx += "*"
+		}
+		fmt.Fprintf(w, "%6s %20s %8d %8d %12.0f %8s  %s\n",
+			idx,
+			fmt.Sprintf("[%.3f, %.3f)", win.StartS*1e3, win.EndS*1e3),
+			win.Misses, win.RefreshStalls, win.StallCycles,
+			fmt.Sprintf("%.2f%%", 100*windowStallFraction(win)), region)
+	}
+	if resp.Truncated {
+		fmt.Fprintln(w, "\n(older windows evicted by retention)")
+	}
+	if len(resp.Windows) > 0 && resp.Windows[len(resp.Windows)-1].Final {
+		fmt.Fprintln(w, "(* final window — session ended)")
+	}
+	return nil
+}
+
+// windowStallFraction is the window's stalled share of its own span,
+// computed from per-stall durations and the window bounds in seconds —
+// no clock metadata needed, so it works against detached fan-in
+// responses too.
+func windowStallFraction(win emprof.ProfileWindow) float64 {
+	dt := win.EndS - win.StartS
+	if dt <= 0 {
+		return 0
+	}
+	var stallS float64
+	for _, s := range win.Stalls {
+		stallS += s.DurationS
+	}
+	return stallS / dt
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

@@ -28,11 +28,28 @@
 //	POST   /v1/sessions               open a session {sample_rate, clock_hz, device?, config?}
 //	POST   /v1/sessions/{id}/samples  stream sample bytes (raw float64 LE, or EMPROFCAP with Content-Type application/x-emprofcap)
 //	GET    /v1/sessions/{id}/profile  live causal snapshot (stalls so far, quality, confidence histogram)
+//	GET    /v1/sessions/{id}/profiles rolling profile windows (with -window): ?from=&to= stream seconds, ?limit=&after=&last= paging
 //	GET    /v1/sessions/{id}/trace    recent analyzer decision events (ring of -trace-ring records)
 //	DELETE /v1/sessions/{id}          finalize; returns the full profile
 //	GET    /v1/sessions               list live sessions
 //	GET    /v1/metrics                Prometheus text format (includes the emprofd_trace_* decision aggregates)
 //	GET    /debug/pprof/              daemon self-profiling
+//
+// The /v1 prefix is the supported surface; the bare aliases answer with
+// Deprecation headers and will be removed.
+//
+// Continuous profiling: -window W slices every session's stall stream
+// into rolling profile windows of W seconds (stride -window-stride,
+// default tumbling), persisted in a window store and served with
+// time-range queries at /v1/sessions/{id}/profiles. With -store-dir the
+// store is on disk — append-only segments, crash-safe reopen — so
+// profile history survives daemon restarts; -store-max-bytes and
+// -store-max-age bound retention. `emprof top -url ...` renders the
+// fleet's live sessions and window tails from this endpoint:
+//
+//	emprofd -addr :7979 -window 0.5 -store-dir /var/lib/emprofd
+//	curl -s 'localhost:7979/v1/sessions/ID/profiles?from=1.5&to=3.0'
+//	emprof top -url http://localhost:7979
 package main
 
 import (
@@ -48,6 +65,7 @@ import (
 	"time"
 
 	"emprof/internal/fleet"
+	"emprof/internal/profstore"
 	"emprof/internal/service"
 	"emprof/internal/version"
 )
@@ -62,6 +80,13 @@ func main() {
 		gcInterval  = flag.Duration("gc-interval", 0, "idle-session sweep interval (0 = idle-ttl/4)")
 		traceRing   = flag.Int("trace-ring", service.DefaultTraceRing, "per-session decision-trace ring capacity served at /v1/sessions/{id}/trace (negative disables tracing)")
 		showVersion = flag.Bool("version", false, "print version and exit")
+
+		windowS       = flag.Float64("window", 0, "continuous profiling: rolling profile window width in stream seconds (0 disables windowing)")
+		windowStrideS = flag.Float64("window-stride", 0, "window stride in stream seconds (0 = tumbling, stride = width)")
+		queueBlocks   = flag.Int("queue-blocks", 0, "per-session decode→analysis queue depth in ingest blocks; full queues backpressure uploads (0 = default)")
+		storeDir      = flag.String("store-dir", "", "window store directory; empty keeps windows in memory only (lost on restart)")
+		storeMaxBytes = flag.Float64("store-max-bytes", 0, "window store retention cap in bytes; oldest segments evict past it (0 = default 256 MiB, negative = unbounded)")
+		storeMaxAge   = flag.Duration("store-max-age", 0, "window store age cap; segments older than this evict (0 = no age eviction)")
 
 		router         = flag.Bool("router", false, "run as a fleet router in front of -shards instead of serving sessions directly")
 		shards         = flag.String("shards", "", "with -router: comma-separated shard base URLs, e.g. http://10.0.0.1:7979,http://10.0.0.2:7979")
@@ -81,12 +106,28 @@ func main() {
 		return
 	}
 
+	var store *profstore.Store
+	if *storeDir != "" || *storeMaxBytes != 0 || *storeMaxAge != 0 {
+		var err error
+		store, err = profstore.Open(profstore.Options{
+			Dir:      *storeDir,
+			MaxBytes: int64(*storeMaxBytes),
+			MaxAge:   *storeMaxAge,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
 	srv := service.New(service.Config{
 		MaxSessions:     *maxSessions,
 		MaxSessionBytes: int64(*maxBytes),
 		IdleTTL:         *idleTTL,
 		ReadTimeout:     *readTimeout,
 		TraceRing:       *traceRing,
+		WindowS:         *windowS,
+		WindowStrideS:   *windowStrideS,
+		QueueBlocks:     *queueBlocks,
+		Store:           store,
 	})
 	stopGC := srv.StartGC(*gcInterval)
 	defer stopGC()
@@ -119,6 +160,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emprofd: shutdown:", err)
 	}
 	srv.Close()
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "emprofd: window store:", err)
+		}
+	}
 }
 
 // runRouter serves the fleet front: session routing over a consistent

@@ -220,3 +220,22 @@ type StreamAnalyzer = core.StreamAnalyzer
 func NewStreamAnalyzer(cfg Config, sampleRate, clockHz float64) (*StreamAnalyzer, error) {
 	return core.NewStreamAnalyzer(cfg, sampleRate, clockHz)
 }
+
+// ProfileWindow is one rolling window of a continuously-profiled
+// stream: the stalls whose onset falls in the window, with the same
+// aggregate counters a Profile carries, scoped to the window. Served by
+// emprofd's GET /v1/sessions/{id}/profiles (see Client.Profiles).
+type ProfileWindow = core.ProfileWindow
+
+// WindowRegion is one code region's share of a window's stalls, filled
+// in when the daemon runs continuous stall→code-region attribution.
+type WindowRegion = core.WindowRegion
+
+// MergeWindows reassembles a full-stream profile from a session's
+// complete tumbling window sequence, bit-identical to the profile
+// Finalize would have returned for the same stream. The windows must
+// tile (each starts where the previous ended) and include the final
+// window.
+func MergeWindows(ws []ProfileWindow, sampleRate, clockHz float64) (*Profile, error) {
+	return core.MergeWindows(ws, sampleRate, clockHz)
+}

@@ -33,14 +33,20 @@ var (
 	// kept failing transiently until the retry budget ran out; the last
 	// underlying failure is wrapped alongside it.
 	ErrRetriesExhausted = errors.New("emprof: retries exhausted")
+	// ErrWindowNotRetained is reported by the daemon client when the
+	// daemon answers 410: the queried profile windows existed but the
+	// store's retention policy has evicted them — unlike a 404, the data
+	// is gone for good and no retry or wider query will bring it back.
+	ErrWindowNotRetained = errors.New("emprof: profile windows no longer retained")
 )
 
 // APIError is a non-2xx emprofd response, carrying the HTTP status and
 // the daemon's error message. It matches the corresponding sentinel
 // errors under errors.Is: a 404 carrying the daemon's JSON error body
 // is ErrSessionNotFound, a body-less 404 (route absent from the mux)
-// is ErrUnsupportedEndpoint, and a 400 is ErrBadCapture, so callers can
-// branch without inspecting status codes.
+// is ErrUnsupportedEndpoint, a 400 is ErrBadCapture, and a 410 is
+// ErrWindowNotRetained, so callers can branch without inspecting status
+// codes.
 type APIError struct {
 	StatusCode int
 	Message    string
@@ -65,6 +71,8 @@ func (e *APIError) Is(target error) bool {
 		return e.StatusCode == http.StatusNotFound && e.Message == ""
 	case ErrBadCapture:
 		return e.StatusCode == http.StatusBadRequest
+	case ErrWindowNotRetained:
+		return e.StatusCode == http.StatusGone
 	}
 	return false
 }

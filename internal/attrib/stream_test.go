@@ -1,0 +1,149 @@
+package attrib
+
+import (
+	"math/rand"
+	"testing"
+
+	"emprof/internal/core"
+	"emprof/internal/dsp"
+)
+
+// streamFrames collects the raw (pre-smoothing) per-frame decisions of a
+// StreamAttributor fed in the given chunk sizes.
+func streamFrames(t *testing.T, m *Model, xs []float64, chunks []int) []int16 {
+	t.Helper()
+	a, err := NewStreamAttributor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for i := 0; off < len(xs); i++ {
+		n := chunks[i%len(chunks)]
+		if off+n > len(xs) {
+			n = len(xs) - off
+		}
+		a.Push(xs[off : off+n])
+		off += n
+	}
+	return append([]int16(nil), a.decisions...)
+}
+
+// batchFrames computes the batch path's raw frame decisions (Attribute
+// before smoothing) directly.
+func batchFrames(m *Model, xs []float64) []int16 {
+	sg := dsp.STFT(xs, 40e6, m.FrameLen, m.Hop)
+	sg.NormalizeFrames()
+	out := make([]int16, sg.NumFrames())
+	for t := 0; t < sg.NumFrames(); t++ {
+		best, bestD := 0, 1e308
+		for i := range m.Signatures {
+			if d := dsp.SpectralDistance(sg.Frames[t], m.Signatures[i].Spectrum); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		out[t] = int16(best)
+	}
+	return out
+}
+
+func TestStreamDecisionsMatchBatch(t *testing.T) {
+	trainCap, trainSpans := synthRegions(4000, testFreqs, []uint16{1, 2, 3})
+	m, err := Train(trainCap, trainSpans, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCap, _ := synthRegions(3000, testFreqs, []uint16{3, 1, 2, 1})
+	want := batchFrames(m, testCap.Samples)
+	if len(want) == 0 {
+		t.Fatal("no batch frames")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial, chunks := range [][]int{
+		{len(testCap.Samples)},
+		{1000},
+		{7, 513, 2048, 64},
+		{1 + rng.Intn(3000), 1 + rng.Intn(3000), 1 + rng.Intn(3000)},
+	} {
+		got := streamFrames(t, m, testCap.Samples, chunks)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d stream frames, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: frame %d decided %d, batch decided %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamSummarize(t *testing.T) {
+	trainCap, trainSpans := synthRegions(4000, testFreqs, []uint16{1, 2, 3})
+	m, err := Train(trainCap, trainSpans, TrainConfig{Names: map[uint16]string{1: "fa", 2: "fb", 3: "fc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions 2,3 back to back, 6000 samples each.
+	testCap, _ := synthRegions(6000, testFreqs, []uint16{2, 3})
+	a, err := NewStreamAttributor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Push(testCap.Samples)
+	// Stalls well inside each region (away from the boundary at 6000).
+	stalls := []core.Stall{
+		{StartSample: 2000, Cycles: 100},
+		{StartSample: 3000, Cycles: 150},
+		{StartSample: 9000, Cycles: 400},
+	}
+	regs := a.Summarize(stalls)
+	if len(regs) != 2 {
+		t.Fatalf("regions %d, want 2: %+v", len(regs), regs)
+	}
+	if regs[0].Region != 2 || regs[0].Misses != 2 || regs[0].StallCycles != 250 || regs[0].Name != "fb" {
+		t.Fatalf("region 2 summary wrong: %+v", regs[0])
+	}
+	if regs[1].Region != 3 || regs[1].Misses != 1 || regs[1].StallCycles != 400 {
+		t.Fatalf("region 3 summary wrong: %+v", regs[1])
+	}
+	if got := a.Summarize(nil); got != nil {
+		t.Fatalf("empty stall list summarised to %+v", got)
+	}
+}
+
+func TestStreamDrop(t *testing.T) {
+	trainCap, trainSpans := synthRegions(4000, testFreqs, []uint16{1, 2, 3})
+	m, err := Train(trainCap, trainSpans, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCap, _ := synthRegions(6000, testFreqs, []uint16{2, 3})
+
+	full, _ := NewStreamAttributor(m)
+	full.Push(testCap.Samples)
+	wantLate := full.Summarize([]core.Stall{{StartSample: 9000, Cycles: 400}})
+
+	a, _ := NewStreamAttributor(m)
+	a.Push(testCap.Samples[:8000])
+	a.Drop(7000)
+	a.Push(testCap.Samples[8000:])
+	if int(a.decBase) == 0 {
+		t.Fatal("Drop retained everything")
+	}
+	if got := a.Summarize([]core.Stall{{StartSample: 9000, Cycles: 400}}); len(got) != 1 ||
+		got[0].Region != wantLate[0].Region || got[0].StallCycles != wantLate[0].StallCycles {
+		t.Fatalf("post-Drop summary %+v, want %+v", got, wantLate)
+	}
+	// Frames before the cut clamp to the retained edge rather than crash.
+	if got := a.Summarize([]core.Stall{{StartSample: 10, Cycles: 1}}); len(got) != 1 {
+		t.Fatalf("pre-cut stall not clamped: %+v", got)
+	}
+}
+
+func TestStreamAttributorValidation(t *testing.T) {
+	if _, err := NewStreamAttributor(nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewStreamAttributor(&Model{Signatures: []Signature{{Region: 1}}}); err == nil {
+		t.Fatal("zero frame geometry accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"emprof/internal/jsonfast"
+)
+
+// AppendJSON appends the window encoded exactly as encoding/json renders
+// a ProfileWindow value — same tag-derived keys, field order, omitempty
+// elisions, and float formatting. Sealing a window JSON-encodes it into
+// the profile store on the session's analysis worker, so this codec is
+// what keeps continuous profiling off the ingest path's reflection
+// budget. Byte-identity is property-tested in windowjson_test.go.
+func (w *ProfileWindow) AppendJSON(b []byte) ([]byte, error) {
+	var err error
+	b = append(b, `{"index":`...)
+	b = strconv.AppendInt(b, w.Index, 10)
+	b = append(b, `,"start_sample":`...)
+	b = strconv.AppendInt(b, w.StartSample, 10)
+	b = append(b, `,"end_sample":`...)
+	b = strconv.AppendInt(b, w.EndSample, 10)
+	b = append(b, `,"start_s":`...)
+	if b, err = jsonfast.AppendFloat(b, w.StartS); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"end_s":`...)
+	if b, err = jsonfast.AppendFloat(b, w.EndS); err != nil {
+		return nil, err
+	}
+	if w.Final {
+		b = append(b, `,"final":true`...)
+	}
+	b = append(b, `,"stalls":`...)
+	if b, err = StallList(w.Stalls).appendJSON(b); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"misses":`...)
+	b = strconv.AppendInt(b, int64(w.Misses), 10)
+	b = append(b, `,"refresh_stalls":`...)
+	b = strconv.AppendInt(b, int64(w.RefreshStalls), 10)
+	b = append(b, `,"stall_cycles":`...)
+	if b, err = jsonfast.AppendFloat(b, w.StallCycles); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"mean_confidence":`...)
+	if b, err = jsonfast.AppendFloat(b, w.MeanConfidence); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"quality":`...)
+	if b, err = w.Quality.appendJSON(b); err != nil {
+		return nil, err
+	}
+	if len(w.Regions) > 0 {
+		b = append(b, `,"regions":[`...)
+		for i := range w.Regions {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			r := &w.Regions[i]
+			b = append(b, `{"region":`...)
+			b = strconv.AppendInt(b, int64(r.Region), 10)
+			if r.Name != "" {
+				b = append(b, `,"name":`...)
+				b = jsonfast.AppendString(b, r.Name)
+			}
+			b = append(b, `,"misses":`...)
+			b = strconv.AppendInt(b, int64(r.Misses), 10)
+			b = append(b, `,"stall_cycles":`...)
+			if b, err = jsonfast.AppendFloat(b, r.StallCycles); err != nil {
+				return nil, err
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}'), nil
+}
+
+// MarshalJSON encodes the window via AppendJSON, so every path that
+// serialises windows — the profiles endpoint, the router fan-in, the
+// store — gets the hand-rolled codec through plain json.Marshal too.
+func (w ProfileWindow) MarshalJSON() ([]byte, error) {
+	return w.AppendJSON(make([]byte, 0, 256+len(w.Stalls)*176))
+}
+
+// UnmarshalJSON decodes a window. The fast path parses exactly the
+// compact shape AppendJSON (and reflection-driven encoding/json) emits;
+// anything else — whitespace, reordered or unknown fields — falls back
+// to the stdlib decoder, so every input the plain struct accepted is
+// still accepted.
+func (w *ProfileWindow) UnmarshalJSON(data []byte) error {
+	data = jsonfast.TrimSpace(data)
+	if out, i, ok := ParseWindowJSON(data, 0); ok && i == len(data) {
+		*w = out
+		return nil
+	}
+	// plainWindow shadows ProfileWindow without its methods so the
+	// fallback cannot recurse; decoding starts from the current value to
+	// keep the stdlib's merge semantics for partial objects.
+	type plainWindow ProfileWindow
+	out := plainWindow(*w)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return err
+	}
+	*w = ProfileWindow(out)
+	return nil
+}
+
+// ParseWindowJSON parses a compact window object starting at data[i],
+// returning the index just past its closing brace. It accepts exactly
+// the shape AppendJSON emits; callers embedding windows in larger fast
+// codecs use it to decode the nested object in one pass, falling back to
+// the stdlib on !ok.
+func ParseWindowJSON(data []byte, i int) (ProfileWindow, int, bool) {
+	var w ProfileWindow
+	var ok bool
+	var n int64
+	if i, ok = jsonfast.Eat(data, i, `{"index":`); !ok {
+		return w, i, false
+	}
+	if w.Index, i, ok = jsonfast.Int(data, i); !ok {
+		return w, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"start_sample":`); !ok {
+		return w, i, false
+	}
+	if w.StartSample, i, ok = jsonfast.Int(data, i); !ok {
+		return w, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"end_sample":`); !ok {
+		return w, i, false
+	}
+	if w.EndSample, i, ok = jsonfast.Int(data, i); !ok {
+		return w, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"start_s":`); !ok {
+		return w, i, false
+	}
+	if w.StartS, i, ok = jsonfast.Float(data, i); !ok {
+		return w, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"end_s":`); !ok {
+		return w, i, false
+	}
+	if w.EndS, i, ok = jsonfast.Float(data, i); !ok {
+		return w, i, false
+	}
+	if j, present := jsonfast.Eat(data, i, `,"final":`); present {
+		if w.Final, i, ok = jsonfast.Bool(data, j); !ok {
+			return w, i, false
+		}
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"stalls":`); !ok {
+		return w, i, false
+	}
+	var stalls StallList
+	if stalls, i, ok = parseStallsSpan(data, i); !ok {
+		return w, i, false
+	}
+	w.Stalls = stalls
+	if i, ok = jsonfast.Eat(data, i, `,"misses":`); !ok {
+		return w, i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return w, i, false
+	}
+	w.Misses = int(n)
+	if i, ok = jsonfast.Eat(data, i, `,"refresh_stalls":`); !ok {
+		return w, i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return w, i, false
+	}
+	w.RefreshStalls = int(n)
+	if i, ok = jsonfast.Eat(data, i, `,"stall_cycles":`); !ok {
+		return w, i, false
+	}
+	if w.StallCycles, i, ok = jsonfast.Float(data, i); !ok {
+		return w, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"mean_confidence":`); !ok {
+		return w, i, false
+	}
+	if w.MeanConfidence, i, ok = jsonfast.Float(data, i); !ok {
+		return w, i, false
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"quality":`); !ok {
+		return w, i, false
+	}
+	if w.Quality, i, ok = parseQualitySpan(data, i); !ok {
+		return w, i, false
+	}
+	if j, present := jsonfast.Eat(data, i, `,"regions":[`); present {
+		i = j
+		for {
+			var r WindowRegion
+			if r, i, ok = parseRegionSpan(data, i); !ok {
+				return w, i, false
+			}
+			w.Regions = append(w.Regions, r)
+			if i < len(data) && data[i] == ']' {
+				i++
+				break
+			}
+			if i >= len(data) || data[i] != ',' {
+				return w, i, false
+			}
+			i++
+		}
+	}
+	if i >= len(data) || data[i] != '}' {
+		return w, i, false
+	}
+	return w, i + 1, true
+}
+
+func parseRegionSpan(data []byte, i int) (WindowRegion, int, bool) {
+	var r WindowRegion
+	var ok bool
+	var n int64
+	if i, ok = jsonfast.Eat(data, i, `{"region":`); !ok {
+		return r, i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return r, i, false
+	}
+	r.Region = uint16(n)
+	if j, present := jsonfast.Eat(data, i, `,"name":`); present {
+		if r.Name, i, ok = jsonfast.String(data, j); !ok {
+			return r, i, false
+		}
+	}
+	if i, ok = jsonfast.Eat(data, i, `,"misses":`); !ok {
+		return r, i, false
+	}
+	if n, i, ok = jsonfast.Int(data, i); !ok {
+		return r, i, false
+	}
+	r.Misses = int(n)
+	if i, ok = jsonfast.Eat(data, i, `,"stall_cycles":`); !ok {
+		return r, i, false
+	}
+	if r.StallCycles, i, ok = jsonfast.Float(data, i); !ok {
+		return r, i, false
+	}
+	if i >= len(data) || data[i] != '}' {
+		return r, i, false
+	}
+	return r, i + 1, true
+}

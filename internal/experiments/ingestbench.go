@@ -54,6 +54,14 @@ type IngestBenchOptions struct {
 	Capture *emprof.Capture
 	// Seed varies the synthetic series (default 1).
 	Seed uint64
+	// WindowS, when positive, enables continuous profiling on the
+	// in-process shards — rolling windows of this width in stream
+	// seconds — measuring the windowing + store cost under the same
+	// load, and additionally requires every session's merged window
+	// sequence (fetched through the router fan-in after finalize) to be
+	// bit-identical to the batch profile. Ignored with RouterURL (the
+	// external fleet's windowing is its own configuration).
+	WindowS float64
 	// MetricsTo, when set, receives the router's aggregated fleet
 	// metrics (PrintFleetMetrics) after the run, while the in-process
 	// fleet is still alive.
@@ -100,6 +108,7 @@ type IngestBenchReport struct {
 	Sessions              int     `json:"sessions"`
 	SamplesPerSession     int     `json:"samples_per_session"`
 	Rebalanced            bool    `json:"rebalanced"`
+	WindowS               float64 `json:"window_s,omitempty"`
 	SamplesPerSecPerShard float64 `json:"samples_per_sec_per_shard"`
 	// SamplesPerSecPerCore normalizes total throughput by the host's
 	// logical CPU count, making runs comparable across machine sizes
@@ -136,7 +145,8 @@ func RunIngestBench(opts IngestBenchOptions, w io.Writer) (*IngestBenchReport, e
 	routerURL := opts.RouterURL
 	var lf *fleet.LocalFleet
 	if routerURL == "" {
-		lf, err = fleet.StartLocal(opts.Shards, service.Config{MaxSessions: opts.Sessions + 16},
+		lf, err = fleet.StartLocal(opts.Shards,
+			service.Config{MaxSessions: opts.Sessions + 16, WindowS: opts.WindowS},
 			fleet.Config{Seed: opts.Seed})
 		if err != nil {
 			return nil, err
@@ -147,6 +157,7 @@ func RunIngestBench(opts IngestBenchOptions, w io.Writer) (*IngestBenchReport, e
 
 	type timings struct {
 		ingest, snapshot []time.Duration
+		id               string
 		err              error
 	}
 	ctx := context.Background()
@@ -217,7 +228,9 @@ func RunIngestBench(opts IngestBenchOptions, w io.Writer) (*IngestBenchReport, e
 			}
 			if !reflect.DeepEqual(got, want) {
 				tm.err = fmt.Errorf("profile diverged from batch Analyze (samples lost or double-ingested)")
+				return
 			}
+			tm.id = id
 		}(i)
 	}
 	wg.Wait()
@@ -226,6 +239,42 @@ func RunIngestBench(opts IngestBenchOptions, w io.Writer) (*IngestBenchReport, e
 	runtime.ReadMemStats(&m1)
 	if rebalanceErr != nil {
 		return nil, fmt.Errorf("forced rebalance: %w", rebalanceErr)
+	}
+	if opts.WindowS > 0 && lf != nil {
+		// Continuous-profiling correctness under the same load, checked
+		// after the clock stops: the windowing work itself happened during
+		// the timed ingest (the shards seal and store windows inline), but
+		// re-fetching every session's full window timeline through the
+		// router fan-in is a test assertion, not ingest, so it must not
+		// count against throughput. The fan-in reassembles whatever the
+		// rebalance scattered, and the merged sequence must equal the
+		// batch profile bit for bit.
+		var vg sync.WaitGroup
+		for i := range results {
+			if results[i].err != nil || results[i].id == "" {
+				continue
+			}
+			vg.Add(1)
+			go func(i int) {
+				defer vg.Done()
+				tm := &results[i]
+				client := emprof.NewClient(routerURL)
+				resp, err := client.Profiles(ctx, tm.id, emprof.ProfilesRequest{})
+				if err != nil {
+					tm.err = fmt.Errorf("profiles: %w", err)
+					return
+				}
+				merged, err := emprof.MergeWindows(resp.Windows, capture.SampleRate, capture.ClockHz)
+				if err != nil {
+					tm.err = fmt.Errorf("merging %d windows: %w", len(resp.Windows), err)
+					return
+				}
+				if !reflect.DeepEqual(merged, want) {
+					tm.err = fmt.Errorf("merged window sequence diverged from batch Analyze")
+				}
+			}(i)
+		}
+		vg.Wait()
 	}
 	var ingest, snapshot []time.Duration
 	for i := range results {
@@ -267,14 +316,19 @@ func RunIngestBench(opts IngestBenchOptions, w io.Writer) (*IngestBenchReport, e
 		Sessions:              opts.Sessions,
 		SamplesPerSession:     len(capture.Samples),
 		Rebalanced:            rebalanced,
+		WindowS:               opts.WindowS,
 		SamplesPerSecPerShard: float64(totalSamples) / elapsed.Seconds() / float64(opts.Shards),
 		SamplesPerSecPerCore:  float64(totalSamples) / elapsed.Seconds() / float64(runtime.NumCPU()),
 		AllocsPerSample:       float64(m1.Mallocs-m0.Mallocs) / float64(totalSamples),
 		Ingest:                summarize(ingest),
 		Snapshot:              summarize(snapshot),
 	}
-	fmt.Fprintf(w, "fleet ingest: %d sessions x %d samples on %d shards (rebalanced=%v) in %v\n",
-		rep.Sessions, rep.SamplesPerSession, rep.Shards, rep.Rebalanced, elapsed.Round(time.Millisecond))
+	windowed := ""
+	if opts.WindowS > 0 {
+		windowed = fmt.Sprintf(", windows %gs", opts.WindowS)
+	}
+	fmt.Fprintf(w, "fleet ingest: %d sessions x %d samples on %d shards (rebalanced=%v%s) in %v\n",
+		rep.Sessions, rep.SamplesPerSession, rep.Shards, rep.Rebalanced, windowed, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  throughput  %.2f Msamples/s/shard  (%.2f Msamples/s/core, %.3f allocs/sample)\n",
 		rep.SamplesPerSecPerShard/1e6, rep.SamplesPerSecPerCore/1e6, rep.AllocsPerSample)
 	fmt.Fprintf(w, "  ingest      %s  (%d pushes)\n", rep.Ingest.line(), rep.Ingest.Count)

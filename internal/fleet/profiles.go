@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"emprof/internal/core"
+	"emprof/internal/service"
+)
+
+// Profiles fan-in. Rolling windows are the one per-session resource that
+// a hand-off scatters: sealed windows stay in the exporting shard's
+// store while the live tail accrues on the importer, so a session that
+// moved N times has its window sequence spread over N+1 shards. A plain
+// owner proxy would serve only the newest fragment. The router therefore
+// fans GET /v1/sessions/{id}/profiles out to every up shard with the
+// caller's query verbatim and reassembles: windows merge deduplicated by
+// index and sorted, so core.MergeWindows on the router's answer works
+// exactly as against a single shard.
+//
+// Status merge, mirroring the shard-side contract:
+//
+//   - any 400 is relayed (a malformed query is malformed fleet-wide);
+//   - 404 only when every reachable shard answered 404;
+//   - 410 when some shard answered 410 (evicted range) and no shard
+//     contributed a window — if any windows survive elsewhere they are
+//     served with Truncated set instead;
+//   - shard transport failures are 502, like the session list.
+//
+// Pagination is re-applied after the merge: each shard enforced limit=
+// and last= on its own fragment, so the union can overshoot; the router
+// trims to the caller's bounds and recomputes More/NextAfter against the
+// merged sequence, keeping the cursor loop ("pass next_after as after=")
+// valid against a fleet.
+func (rt *Router) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	shards := rt.Ring().Shards()
+	out := make([]shardProfiles, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		if rt.isDown(s) {
+			out[i].skipped = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s string) {
+			defer wg.Done()
+			out[i] = rt.profilesShard(r.Context(), s, r.URL.Path, r.URL.RawQuery)
+		}(i, s)
+	}
+	wg.Wait()
+
+	merged := service.ProfilesResponse{ID: id, Windows: []core.ProfileWindow{}, LatestIndex: -1}
+	seen := make(map[int64]bool)
+	var reachable, notFound int
+	var goneSeen, anyMore bool
+	for i := range out {
+		sp := &out[i]
+		if sp.skipped {
+			continue
+		}
+		if sp.err != nil {
+			writeError(w, http.StatusBadGateway, "fleet: profiles from %s: %v", shards[i], sp.err)
+			return
+		}
+		reachable++
+		switch sp.status {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			notFound++
+			continue
+		case http.StatusGone:
+			goneSeen = true
+			continue
+		case http.StatusBadRequest:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write(sp.body)
+			return
+		default:
+			writeError(w, http.StatusBadGateway, "fleet: profiles from %s: HTTP %d", shards[i], sp.status)
+			return
+		}
+		for _, win := range sp.resp.Windows {
+			if seen[win.Index] {
+				continue
+			}
+			seen[win.Index] = true
+			merged.Windows = append(merged.Windows, win)
+		}
+		merged.Truncated = merged.Truncated || sp.resp.Truncated
+		anyMore = anyMore || sp.resp.More
+		if sp.resp.LatestIndex > merged.LatestIndex {
+			merged.LatestIndex = sp.resp.LatestIndex
+		}
+		// The shard still holding the live session is authoritative for
+		// state and acquisition metadata; store-only shards say "detached".
+		if stateRank(sp.resp.State) > stateRank(merged.State) {
+			merged.State = sp.resp.State
+			merged.WindowS, merged.StrideS = sp.resp.WindowS, sp.resp.StrideS
+			merged.SampleRate, merged.ClockHz = sp.resp.SampleRate, sp.resp.ClockHz
+		}
+	}
+	if reachable == 0 {
+		writeError(w, http.StatusBadGateway, "fleet: no shard reachable for session %s", id)
+		return
+	}
+	if reachable == notFound {
+		writeError(w, http.StatusNotFound, "fleet: unknown session %s", id)
+		return
+	}
+	sort.Slice(merged.Windows, func(i, j int) bool {
+		return merged.Windows[i].Index < merged.Windows[j].Index
+	})
+	if goneSeen && len(merged.Windows) == 0 {
+		writeError(w, http.StatusGone, "fleet: requested windows for session %s no longer retained", id)
+		return
+	}
+	// A 410 fragment means part of the sequence is gone even though other
+	// shards still serve windows: surface it as a truncated range.
+	merged.Truncated = merged.Truncated || goneSeen
+
+	limit, last := pageBounds(r)
+	if last > 0 && len(merged.Windows) > last {
+		merged.Windows = merged.Windows[len(merged.Windows)-last:]
+	}
+	if limit > 0 && len(merged.Windows) > limit {
+		merged.Windows = merged.Windows[:limit]
+		anyMore = true
+	}
+	merged.More = anyMore
+	merged.NextAfter = 0
+	if anyMore && len(merged.Windows) > 0 {
+		merged.NextAfter = merged.Windows[len(merged.Windows)-1].Index
+	}
+	writeJSON(w, http.StatusOK, &merged)
+}
+
+// shardProfiles is one shard's answer to the profiles fan-out.
+type shardProfiles struct {
+	skipped bool
+	status  int
+	resp    service.ProfilesResponse
+	body    []byte
+	err     error
+}
+
+func (rt *Router) profilesShard(ctx context.Context, shard, path, rawQuery string) shardProfiles {
+	url := shard + path
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return shardProfiles{err: err}
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return shardProfiles{err: err}
+	}
+	defer resp.Body.Close()
+	sp := shardProfiles{status: resp.StatusCode}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return shardProfiles{err: err}
+	}
+	sp.body = body
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &sp.resp); err != nil {
+			return shardProfiles{err: fmt.Errorf("decoding profiles: %w", err)}
+		}
+	}
+	return sp
+}
+
+// stateRank orders session states by authority for the fan-in merge:
+// the live owner (active/pinned/finalized) beats store-only shards.
+func stateRank(state string) int {
+	switch state {
+	case "active":
+		return 4
+	case "pinned":
+		return 3
+	case "finalized":
+		return 2
+	case "detached":
+		return 1
+	}
+	return 0
+}
+
+// pageBounds extracts the caller's limit=/last= so the fan-in can
+// re-apply them to the merged sequence. Values the shards rejected never
+// reach here (their 400 is relayed), so parse failures read as unset.
+func pageBounds(r *http.Request) (limit, last int) {
+	vals := r.URL.Query()
+	if v, err := strconv.Atoi(vals.Get("limit")); err == nil && v > 0 {
+		limit = v
+	}
+	if v, err := strconv.Atoi(vals.Get("last")); err == nil && v > 0 {
+		last = v
+	}
+	return limit, last
+}

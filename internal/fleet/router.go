@@ -84,6 +84,7 @@ type Router struct {
 	proxiedTotal   atomic.Int64
 	proxyErrors    atomic.Int64
 	sessionsRouted atomic.Int64
+	deprecatedHits atomic.Int64
 }
 
 type shardHealth struct {
@@ -262,6 +263,7 @@ func (rt *Router) Handler() http.Handler {
 		{"GET /sessions", rt.handleList},
 		{"POST /sessions/{id}/samples", rt.handleSession},
 		{"GET /sessions/{id}/profile", rt.handleSession},
+		{"GET /sessions/{id}/profiles", rt.handleProfiles},
 		{"GET /sessions/{id}/trace", rt.handleSession},
 		{"DELETE /sessions/{id}", rt.handleFinalize},
 		{"GET /metrics", rt.handleMetrics},
@@ -272,9 +274,25 @@ func (rt *Router) Handler() http.Handler {
 	for _, r := range routes {
 		method, path, _ := strings.Cut(r.pattern, " ")
 		mux.HandleFunc(method+" /v1"+path, r.h)
-		mux.HandleFunc(r.pattern, r.h)
+		// Bare aliases mirror the shards' deprecation contract: they keep
+		// working, but answer with the successor-version headers and count
+		// their traffic so operators can see who still needs to migrate.
+		mux.HandleFunc(r.pattern, rt.deprecated(r.h))
 	}
 	return mux
+}
+
+// deprecated wraps a bare (unversioned) route alias: same handler, plus
+// the Deprecation/Link headers pointing at the /v1 successor and a hit
+// counter. /v1 is the only supported surface; the aliases exist for
+// pre-/v1 clients and will be removed.
+func (rt *Router) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		rt.deprecatedHits.Add(1)
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -705,6 +723,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("emprofd_fleet_moves_failed_total", "Session hand-offs that failed and were rolled back.", rt.movesFailed.Load())
 	counter("emprofd_fleet_proxied_requests_total", "Per-session requests proxied to shards.", rt.proxiedTotal.Load())
 	counter("emprofd_fleet_proxy_errors_total", "Proxied requests that failed to reach their shard.", rt.proxyErrors.Load())
+	counter("emprofd_fleet_deprecated_route_hits_total", "Router requests served on deprecated unversioned route aliases.", rt.deprecatedHits.Load())
 	fmt.Fprintf(w, "# HELP emprofd_fleet_shard_up Shard liveness, by shard.\n# TYPE emprofd_fleet_shard_up gauge\n")
 	for _, s := range shards {
 		up := 1

@@ -1,0 +1,39 @@
+package profstore
+
+import (
+	"testing"
+
+	"emprof/internal/core"
+)
+
+func benchWindow(nStalls int) *core.ProfileWindow {
+	w := &core.ProfileWindow{
+		Index: 3, StartSample: 60000, EndSample: 80000,
+		StartS: 1.5e-3, EndS: 2.0e-3,
+		Misses: nStalls, StallCycles: float64(nStalls) * 120,
+	}
+	for i := 0; i < nStalls; i++ {
+		w.Stalls = append(w.Stalls, core.Stall{
+			StartSample: 60000 + i*100, StartS: 1.5e-3 + float64(i)*2.5e-6,
+			DurationS: 4.2e-7, Cycles: 120.5, Depth: 0.43, Confidence: 0.91,
+		})
+	}
+	return w
+}
+
+func BenchmarkAppendMem(b *testing.B) {
+	st, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	w := benchWindow(170)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Index = int64(i)
+		if err := st.Append("bench-session", w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

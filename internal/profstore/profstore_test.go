@@ -1,0 +1,332 @@
+package profstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"emprof/internal/core"
+)
+
+func testWindow(idx int64, widthS float64) *core.ProfileWindow {
+	w := &core.ProfileWindow{
+		Index:       idx,
+		StartSample: idx * 1000,
+		EndSample:   (idx + 1) * 1000,
+		StartS:      float64(idx) * widthS,
+		EndS:        float64(idx+1) * widthS,
+		Stalls:      []core.Stall{},
+	}
+	for k := 0; k < int(idx%4); k++ {
+		st := core.Stall{
+			StartSample: int(w.StartSample) + 10*k,
+			EndSample:   int(w.StartSample) + 10*k + 5,
+			Cycles:      125,
+			Confidence:  0.9,
+		}
+		w.Stalls = append(w.Stalls, st)
+		w.Misses++
+		w.StallCycles += st.Cycles
+	}
+	return w
+}
+
+func openTest(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	opt.Dir = dir
+	st, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestRoundTripAndRangeQuery(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		st := openTest(t, dir, Options{})
+		const width = 1e-3
+		var want []core.ProfileWindow
+		for i := int64(0); i < 20; i++ {
+			w := testWindow(i, width)
+			want = append(want, *w)
+			if err := st.Append("sess", w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := st.Query("sess", Query{AfterIndex: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Windows, want) {
+			t.Fatalf("dir=%q: full query diverged", dir)
+		}
+		if res.LatestIndex != 19 || res.More || res.Truncated {
+			t.Fatalf("dir=%q: unexpected result flags %+v", dir, res)
+		}
+		// Range [5ms, 8ms) → windows 5,6,7.
+		res, err = st.Query("sess", Query{FromS: 5 * width, ToS: 8 * width, AfterIndex: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Windows) != 3 || res.Windows[0].Index != 5 || res.Windows[2].Index != 7 {
+			t.Fatalf("dir=%q: range query returned %d windows (first %v)", dir, len(res.Windows), res.Windows)
+		}
+		// Unknown session: empty, no error (caller decides 404).
+		res, err = st.Query("nope", Query{AfterIndex: -1})
+		if err != nil || len(res.Windows) != 0 || res.LatestIndex != -1 {
+			t.Fatalf("dir=%q: unknown session: %v %+v", dir, err, res)
+		}
+	}
+}
+
+func TestPagination(t *testing.T) {
+	st := openTest(t, "", Options{})
+	for i := int64(0); i < 25; i++ {
+		if err := st.Append("s", testWindow(i, 1e-3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []core.ProfileWindow
+	after := int64(-1)
+	pages := 0
+	for {
+		res, err := st.Query("s", Query{AfterIndex: after, Limit: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res.Windows...)
+		pages++
+		if !res.More {
+			break
+		}
+		after = res.NextAfter
+	}
+	if len(got) != 25 || pages != 4 {
+		t.Fatalf("pagination returned %d windows over %d pages", len(got), pages)
+	}
+	for i, w := range got {
+		if w.Index != int64(i) {
+			t.Fatalf("page order broken at %d: index %d", i, w.Index)
+		}
+	}
+	// Last=3 tails the sequence.
+	res, err := st.Query("s", Query{AfterIndex: -1, Last: 3})
+	if err != nil || len(res.Windows) != 3 || res.Windows[0].Index != 22 {
+		t.Fatalf("Last query: %v %+v", err, res.Windows)
+	}
+}
+
+// TestCrashReopenProperty appends records, then truncates or corrupts
+// the newest segment's tail at random byte positions: reopening must
+// recover every record before the damage and keep the store appendable,
+// for any cut point.
+func TestCrashReopenProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		dir := t.TempDir()
+		st := openTest(t, dir, Options{SegmentBytes: 1 << 20})
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			if err := st.Append("s", testWindow(int64(i), 1e-3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+
+		segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+		if len(segs) == 0 {
+			t.Fatal("no segment written")
+		}
+		last := segs[len(segs)-1]
+		info, err := os.Stat(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := rng.Int63n(info.Size() + 1)
+		if trial%2 == 0 {
+			// Torn append: the tail bytes simply never hit disk.
+			if err := os.Truncate(last, cut); err != nil {
+				t.Fatal(err)
+			}
+		} else if cut < info.Size() {
+			// Bit rot / partial overwrite at the cut point.
+			f, err := os.OpenFile(last, os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteAt([]byte{0xFF}, cut)
+			f.Close()
+		}
+
+		st2 := openTest(t, dir, Options{SegmentBytes: 1 << 20})
+		res, err := st2.Query("s", Query{AfterIndex: -1, Limit: 1000})
+		if err != nil {
+			t.Fatalf("trial %d: query after reopen: %v", trial, err)
+		}
+		// Every recovered window is intact and the sequence is a prefix
+		// (records after the damage are allowed to be lost, never mangled).
+		for i, w := range res.Windows {
+			if w.Index != int64(i) {
+				t.Fatalf("trial %d: recovered sequence broken at %d (index %d)", trial, i, w.Index)
+			}
+			if !reflect.DeepEqual(&w, testWindow(w.Index, 1e-3)) {
+				t.Fatalf("trial %d: recovered window %d corrupted: %+v", trial, w.Index, w)
+			}
+		}
+		// The reopened store accepts appends continuing the sequence.
+		next := int64(len(res.Windows))
+		if err := st2.Append("s", testWindow(next, 1e-3)); err != nil {
+			t.Fatalf("trial %d: append after reopen: %v", trial, err)
+		}
+		res2, err := st2.Query("s", Query{AfterIndex: -1, Limit: 1000})
+		if err != nil || len(res2.Windows) != len(res.Windows)+1 {
+			t.Fatalf("trial %d: post-reopen append not visible: %v", trial, err)
+		}
+	}
+}
+
+// TestRetentionEvictionProperty drives the store far past its byte
+// budget and asserts the invariants: footprint stays within budget plus
+// one segment of slack, eviction is oldest-first and whole-segment, a
+// fully-evicted range answers ErrNotRetained, and a partially-evicted
+// range returns the retained suffix flagged Truncated.
+func TestRetentionEvictionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		dir := ""
+		if trial%2 == 0 {
+			dir = t.TempDir()
+		}
+		segBytes := int64(4<<10 + rng.Intn(8<<10))
+		maxBytes := 4 * segBytes
+		st := openTest(t, dir, Options{SegmentBytes: segBytes, MaxBytes: maxBytes})
+		const width = 1e-3
+		n := 200 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			if err := st.Append("s", testWindow(int64(i), width)); err != nil {
+				t.Fatal(err)
+			}
+			if stats := st.Stats(); stats.Bytes > maxBytes+segBytes {
+				t.Fatalf("trial %d: store at %d bytes exceeds budget %d + slack %d", trial, stats.Bytes, maxBytes, segBytes)
+			}
+		}
+		if st.Stats().Evictions == 0 {
+			t.Fatalf("trial %d: no segment evicted after %d appends", trial, n)
+		}
+		res, err := st.Query("s", Query{AfterIndex: -1, Limit: n + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Windows) == 0 || len(res.Windows) == n {
+			t.Fatalf("trial %d: retention retained %d of %d", trial, len(res.Windows), n)
+		}
+		// The retained set is exactly the newest suffix.
+		first := res.Windows[0].Index
+		for i, w := range res.Windows {
+			if w.Index != first+int64(i) {
+				t.Fatalf("trial %d: retained sequence has a hole at %d", trial, i)
+			}
+		}
+		if res.Windows[len(res.Windows)-1].Index != int64(n-1) {
+			t.Fatalf("trial %d: newest window missing", trial)
+		}
+		// Query entirely inside the evicted prefix → ErrNotRetained.
+		if first > 0 {
+			_, err := st.Query("s", Query{FromS: 0, ToS: float64(first) * width, AfterIndex: -1})
+			if !errors.Is(err, ErrNotRetained) {
+				t.Fatalf("trial %d: evicted-range query: %v", trial, err)
+			}
+			// Query spanning the eviction boundary → Truncated.
+			res, err := st.Query("s", Query{FromS: 0, AfterIndex: -1, Limit: n + 1})
+			if err != nil || !res.Truncated {
+				t.Fatalf("trial %d: spanning query not truncated: %v %+v", trial, err, res)
+			}
+		}
+
+		// Eviction watermarks survive a restart in disk mode.
+		if dir != "" {
+			st.Close()
+			st2 := openTest(t, dir, Options{SegmentBytes: segBytes, MaxBytes: maxBytes})
+			if first > 0 {
+				_, err := st2.Query("s", Query{FromS: 0, ToS: float64(first) * width, AfterIndex: -1})
+				if !errors.Is(err, ErrNotRetained) {
+					t.Fatalf("trial %d: eviction watermark lost across reopen: %v", trial, err)
+				}
+			}
+		}
+	}
+}
+
+func TestAgeEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	st := openTest(t, t.TempDir(), Options{SegmentBytes: 2 << 10, MaxAge: time.Minute, Now: clock})
+	for i := int64(0); i < 40; i++ {
+		if err := st.Append("s", testWindow(i, 1e-3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := st.Stats()
+	// Nothing is old yet.
+	if before.Evictions != 0 {
+		t.Fatalf("premature age eviction: %+v", before)
+	}
+	now = now.Add(2 * time.Minute)
+	if err := st.Append("s", testWindow(40, 1e-3)); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Stats()
+	if after.Evictions == 0 {
+		t.Fatal("aged segments not evicted")
+	}
+	if after.Segments > 2 {
+		t.Fatalf("expected only fresh segments to survive, have %d", after.Segments)
+	}
+	res, err := st.Query("s", Query{AfterIndex: -1, Limit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows[len(res.Windows)-1].Index != 40 {
+		t.Fatal("fresh window lost to age eviction")
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	st := openTest(t, "", Options{})
+	st.Close()
+	if err := st.Append("s", testWindow(0, 1e-3)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append on closed store: %v", err)
+	}
+	if _, err := st.Query("s", Query{AfterIndex: -1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query on closed store: %v", err)
+	}
+}
+
+func TestSegmentRoll(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, dir, Options{SegmentBytes: 1 << 10})
+	for i := int64(0); i < 30; i++ {
+		if err := st.Append(fmt.Sprintf("s%d", i%3), testWindow(i, 1e-3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, have %d", len(segs))
+	}
+	// All three sessions are indexed across segments after reopen.
+	st.Close()
+	st2 := openTest(t, dir, Options{SegmentBytes: 1 << 10})
+	for s := 0; s < 3; s++ {
+		res, err := st2.Query(fmt.Sprintf("s%d", s), Query{AfterIndex: -1, Limit: 100})
+		if err != nil || len(res.Windows) != 10 {
+			t.Fatalf("session s%d after reopen: %v, %d windows", s, err, len(res.Windows))
+		}
+	}
+}

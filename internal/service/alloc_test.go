@@ -50,10 +50,15 @@ func TestIngestSteadyStateZeroAllocs(t *testing.T) {
 		}
 	}
 	// Warm up: fill the normalisation window, the analyzer's queues and
-	// scratch, and the decode pools.
+	// scratch, the decode pools, and the pipeline's circulating blocks —
+	// then drain so the warmup's one-time growth allocations land before
+	// the measurement starts.
 	for i := 0; i < 8; i++ {
 		run()
 	}
+	sess.mu.Lock()
+	sess.drainLocked()
+	sess.mu.Unlock()
 	allocs := testing.AllocsPerRun(50, run)
 	if allocs != 0 {
 		t.Fatalf("steady-state ingest allocates: %.2f allocs per %d-sample push (want 0)",

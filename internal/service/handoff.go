@@ -40,6 +40,15 @@ type SessionState struct {
 	// Decoder is nil when the session never ingested (no wire format
 	// chosen yet).
 	Decoder *em.DecoderState `json:"decoder,omitempty"`
+	// Windows is the rolling-window emitter's position, so the new owner
+	// continues the window sequence seamlessly (same indexes, no gap, no
+	// overlap); nil when the exporting shard ran without windowing.
+	// Already-sealed windows stay in the exporting shard's store — the
+	// fleet router's profiles fan-in reassembles the full sequence.
+	// Attribution state deliberately does not travel (like trace rings):
+	// the streaming attributor's frame alignment cannot be rebuilt
+	// mid-stream, so post-hand-off windows simply carry no Regions.
+	Windows *core.WindowerState `json:"windows,omitempty"`
 }
 
 // Pin freezes a session for hand-off: until Unpin (or Forget), ingest,
@@ -90,6 +99,13 @@ func (r *Registry) Export(id string) (*SessionState, error) {
 	if s.poison != nil {
 		return nil, fmt.Errorf("%w: %v", ErrPoisoned, s.poison)
 	}
+	// Pinning froze ingest; draining parks the analysis stage — the
+	// exported analyzer and windower are then a consistent pair. The
+	// store drain matters too: once the importer owns the session, a
+	// fleet fan-in query expects every window sealed here to be readable
+	// from this shard's store.
+	s.drainLocked()
+	s.drainWindowsLocked()
 	st := &SessionState{
 		ID:         s.id,
 		Device:     s.device,
@@ -98,6 +114,9 @@ func (r *Registry) Export(id string) (*SessionState, error) {
 		Created:    s.created,
 		Bytes:      s.bytes,
 		Stream:     s.an.ExportState(),
+	}
+	if s.win != nil {
+		st.Windows = s.win.ExportState()
 	}
 	if s.dec != nil {
 		ds, err := s.dec.State()
@@ -131,7 +150,18 @@ func (r *Registry) Import(st *SessionState) error {
 	if err != nil {
 		return err
 	}
-	r.attachObservers(an)
+	// Resume the window sequence where the exporter stopped; an exporter
+	// that ran without windowing leaves this shard's windowing off for
+	// the session too (a fresh windower would re-emit indexes from 0 and
+	// corrupt the fleet-merged sequence).
+	var win *core.Windower
+	if st.Windows != nil {
+		win, err = core.ResumeWindower(st.Windows, st.SampleRate, st.ClockHz)
+		if err != nil {
+			return err
+		}
+	}
+	r.attachObservers(an, win)
 	var dec *em.Decoder
 	if st.Decoder != nil {
 		dec, err = em.RestoreDecoder(*st.Decoder)
@@ -168,11 +198,12 @@ func (r *Registry) Import(st *SessionState) error {
 		created:    created,
 		lastActive: now,
 		an:         an,
-		emit:       an.PushBlock,
 		dec:        dec,
 		bytes:      st.Bytes,
 		ring:       r.newRing(an),
+		win:        win,
 	}
+	r.startPipeline(s)
 	r.sessions[s.id] = s
 	r.metrics.SessionsImported.Add(1)
 	return nil
@@ -183,13 +214,22 @@ func (r *Registry) Import(st *SessionState) error {
 // lives on at the importing shard.
 func (r *Registry) Forget(id string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := r.sessions[id]; !ok {
+	s, ok := r.sessions[id]
+	if !ok {
+		r.mu.Unlock()
 		return ErrNotFound
 	}
 	delete(r.sessions, id)
+	r.mu.Unlock()
+	// The session is gone from the registry but its workers still run;
+	// stop them without finalizing (the profile lives on at the importer).
+	s.mu.Lock()
+	s.stopPipelineLocked()
+	s.stopStoreStageLocked()
+	s.mu.Unlock()
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"emprof/internal/attrib"
 	"emprof/internal/core"
 )
 
@@ -92,6 +93,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET /sessions", "list", s.handleList},
 		{"POST /sessions/{id}/samples", "ingest", s.handleIngest},
 		{"GET /sessions/{id}/profile", "profile", s.handleProfile},
+		{"GET /sessions/{id}/profiles", "profiles", s.handleProfiles},
 		{"GET /sessions/{id}/trace", "trace", s.handleTrace},
 		{"DELETE /sessions/{id}", "finalize", s.handleFinalize},
 		{"GET /metrics", "metrics", s.handleMetrics},
@@ -107,7 +109,7 @@ func (s *Server) Handler() http.Handler {
 		method, path, _ := strings.Cut(rt.pattern, " ")
 		h := s.instrument(rt.endpoint, rt.h)
 		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(rt.pattern, h)
+		mux.HandleFunc(rt.pattern, s.deprecated(h))
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -115,6 +117,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// deprecated wraps a bare unversioned alias route: it keeps serving
+// (pre-versioning clients must not break), but every response carries a
+// Deprecation header plus a Link to the /v1 successor, and the
+// emprofd_deprecated_route_hits_total counter records the traffic so
+// operators can see who still needs migrating. /v1 is the only supported
+// surface; the aliases are scheduled for removal.
+func (s *Server) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+r.URL.Path+">; rel=\"successor-version\"")
+		s.reg.metrics.DeprecatedRouteHits.Add(1)
+		h(w, r)
+	}
 }
 
 // statusWriter captures the response code for metrics.
@@ -194,6 +211,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrConflict):
 		code = http.StatusConflict
+	case errors.Is(err, ErrWindowNotRetained):
+		code = http.StatusGone
 	}
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
@@ -213,6 +232,10 @@ type CreateRequest struct {
 	// uses this so a session's owning shard is computable from its ID
 	// alone; ordinary clients leave it empty (server-assigned).
 	ID string `json:"id,omitempty"`
+	// Attribution optionally attaches a trained attribution model to the
+	// session (overriding any daemon-wide model): rolling windows then
+	// carry live stall→code-region attribution.
+	Attribution *attrib.Model `json:"attribution,omitempty"`
 }
 
 // CreateResponse is the POST /v1/sessions reply.
@@ -233,7 +256,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
-	id, err := s.reg.CreateWithID(req.ID, req.Device, req.SampleRate, req.ClockHz, cfg)
+	id, err := s.reg.CreateSession(CreateOpts{
+		ID: req.ID, Device: req.Device,
+		SampleRate: req.SampleRate, ClockHz: req.ClockHz,
+		Config: cfg, Attribution: req.Attribution,
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -398,4 +425,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.metrics.WriteTo(w, s.reg.ActiveSessions())
+	if st := s.reg.Store(); st != nil {
+		s.reg.metrics.WriteStoreStats(w, st.Stats())
+	}
 }

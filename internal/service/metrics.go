@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"emprof/internal/profstore"
 	"emprof/internal/trace"
 	"emprof/internal/version"
 )
@@ -24,6 +25,12 @@ type Metrics struct {
 	SamplesIngested   atomic.Int64
 	IngestBytes       atomic.Int64
 	StallsDetected    atomic.Int64
+	// WindowsSealed counts rolling profile windows persisted to the
+	// window store; DeprecatedRouteHits counts requests served on bare
+	// unversioned route aliases (the pre-/v1 surface, kept for
+	// compatibility but scheduled for removal).
+	WindowsSealed       atomic.Int64
+	DeprecatedRouteHits atomic.Int64
 
 	// Trace aggregates the decision-trace events of every session's
 	// analyzer (stalls by reject reason, dip-depth distribution, resync
@@ -88,6 +95,8 @@ func (m *Metrics) WriteTo(w io.Writer, activeSessions int) {
 	counter("emprofd_samples_ingested_total", "EM samples decoded into analyzers.", m.SamplesIngested.Load())
 	counter("emprofd_ingest_bytes_total", "Capture bytes accepted for ingest.", m.IngestBytes.Load())
 	counter("emprofd_stalls_detected_total", "LLC-miss stalls detected across all sessions.", m.StallsDetected.Load())
+	counter("emprofd_windows_sealed_total", "Rolling profile windows sealed and persisted.", m.WindowsSealed.Load())
+	counter("emprofd_deprecated_route_hits_total", "Requests served on deprecated unversioned route aliases.", m.DeprecatedRouteHits.Load())
 
 	m.mu.Lock()
 	keys := make([]endpointKey, 0, len(m.endpoints))
@@ -141,4 +150,16 @@ func (m *Metrics) WriteTo(w io.Writer, activeSessions int) {
 	if m.Trace != nil {
 		m.Trace.WritePrometheus(w, "emprofd_trace")
 	}
+}
+
+// WriteStoreStats renders the window store's footprint; the caller
+// samples the stats (the store lives in the registry, not the sink).
+func (m *Metrics) WriteStoreStats(w io.Writer, st profstore.Stats) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("emprofd_profstore_segments", "Window store segment files (or memory segments).", int64(st.Segments))
+	gauge("emprofd_profstore_bytes", "Window store framed payload bytes retained.", st.Bytes)
+	gauge("emprofd_profstore_sessions", "Sessions with retained windows.", int64(st.Sessions))
+	fmt.Fprintf(w, "# HELP emprofd_profstore_evictions_total Segments evicted by retention.\n# TYPE emprofd_profstore_evictions_total counter\nemprofd_profstore_evictions_total %d\n", st.Evictions)
 }

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"emprof/internal/core"
+)
+
+// This file is the staged half of the session: ingest decodes wire bytes
+// synchronously (service.go), but the samples it produces are analysed
+// asynchronously by a per-session worker goroutine, joined to the decode
+// stage by a bounded block queue. Sealed windows leave the analysis
+// stage through a second bounded queue to a store worker.
+//
+//	HTTP body ──decode (s.mu)──▶ queue ──worker (s.anMu)──▶ analyzer
+//	                                │                         │ windower
+//	             backpressure ◀─────┘                         │ attributor
+//	                                                          ▼
+//	                                winq ──worker (s.winMu)──▶ window store
+//
+// The queues are the backpressure contract: when analysis falls behind,
+// enqueueBlock blocks, which stops the ingest body read, which fills the
+// client's TCP window — load sheds at the transport instead of growing
+// unbounded memory. Likewise when the store falls behind (a slow disk),
+// winq fills, the analysis worker blocks on the seal, the block queue
+// fills, and ingest stalls — bounded memory end to end. Block buffers
+// circulate through the free channel (a fixed population of
+// QueueBlocks+1), so the steady-state ingest path stays allocation-free.
+//
+// Result-serving paths call drainLocked first: it waits until the worker
+// has analysed everything ingest enqueued, which is what keeps the
+// pipelined service observably identical to the old synchronous one —
+// a client that pushed samples and then asks for the profile sees them.
+// Paths that then read the window store cross the second barrier,
+// drainWindowsLocked, for the same read-your-writes guarantee.
+
+// storeQueueWindows bounds the seal→store queue. Windows are sealed at
+// the window stride — orders of magnitude slower than sample blocks —
+// so a short queue absorbs disk latency jitter without meaningfully
+// delaying the drain barriers.
+const storeQueueWindows = 16
+
+// startPipeline wires and launches a session's analysis stage. Called
+// before the session is published in the registry.
+func (r *Registry) startPipeline(s *session) {
+	depth := r.cfg.QueueBlocks
+	s.queue = make(chan []float64, depth)
+	// One more block than queue slots: ingest can hold a block while the
+	// queue is full, and the worker's return never blocks.
+	s.free = make(chan []float64, depth+1)
+	for i := 0; i < depth+1; i++ {
+		s.free <- nil
+	}
+	s.cond = sync.NewCond(&s.anMu)
+	s.workerDone = make(chan struct{})
+	s.emit = s.enqueueBlock
+	if s.win != nil {
+		s.win.OnWindow = r.windowSink(s)
+		if r.store != nil {
+			s.winq = make(chan *core.ProfileWindow, storeQueueWindows)
+			s.winqDone = make(chan struct{})
+			s.winCond = sync.NewCond(&s.winMu)
+			go s.storeWorker(r)
+		}
+	}
+	go s.analysisWorker()
+}
+
+// enqueueBlock is the decode→analysis hand-off: it copies the decoder's
+// scratch (the decoder reuses that buffer for the next chunk) into a
+// recycled block and enqueues it. Runs under s.mu; blocks when the
+// analysis stage is behind — that is the backpressure.
+func (s *session) enqueueBlock(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	blk := <-s.free
+	blk = append(blk[:0], xs...)
+	s.queue <- blk
+	s.enqueued += int64(len(blk))
+}
+
+// analysisWorker is the session's analysis stage: it owns the analyzer
+// (and windower and attributor) between drains, under anMu. It never
+// takes s.mu — ingest holds s.mu while blocking on a full queue, so the
+// worker taking it would deadlock the session.
+func (s *session) analysisWorker() {
+	defer close(s.workerDone)
+	for blk := range s.queue {
+		s.anMu.Lock()
+		s.analyzeBlock(blk)
+		s.analyzed += int64(len(blk))
+		s.anMu.Unlock()
+		s.cond.Broadcast()
+		s.free <- blk[:0]
+	}
+}
+
+// analyzeBlock pushes one block through the analysis chain, converting a
+// panic into a sticky pipeline error instead of killing the daemon: the
+// worker keeps draining (so ingest never wedges on a full queue) but
+// analyses nothing further, and the next ingest reports the session
+// poisoned. Runs with anMu held.
+func (s *session) analyzeBlock(blk []float64) {
+	defer func() {
+		if p := recover(); p != nil && s.workerErr == nil {
+			s.workerErr = fmt.Errorf("service: analysis stage failed: %v", p)
+		}
+	}()
+	if s.workerErr != nil {
+		return
+	}
+	s.an.PushBlock(blk)
+	if s.attr != nil {
+		s.attr.Push(blk)
+	}
+	if s.win != nil {
+		s.win.Advance(s.an.Frontier())
+	}
+}
+
+// drainLocked blocks until the analysis stage has consumed everything
+// the decode stage enqueued — the read-your-writes barrier every
+// result-serving path crosses. Requires s.mu (so enqueued cannot move);
+// the worker only needs anMu, which Wait releases, so it progresses.
+func (s *session) drainLocked() {
+	if s.queue == nil {
+		return
+	}
+	target := s.enqueued
+	s.anMu.Lock()
+	for s.analyzed < target {
+		s.cond.Wait()
+	}
+	s.anMu.Unlock()
+}
+
+// pipelineErr reports the sticky analysis-stage error, if any.
+func (s *session) pipelineErr() error {
+	if s.queue == nil {
+		return nil
+	}
+	s.anMu.Lock()
+	defer s.anMu.Unlock()
+	return s.workerErr
+}
+
+// stopPipelineLocked drains the queue, stops the worker, and waits for
+// it to exit; afterwards the caller owns the analyzer. Requires s.mu;
+// idempotent.
+func (s *session) stopPipelineLocked() {
+	if s.queue == nil || s.queueClosed {
+		return
+	}
+	s.drainLocked()
+	s.queueClosed = true
+	close(s.queue)
+	<-s.workerDone
+}
+
+// windowSink decorates each sealed window and hands it to the store
+// stage. It runs where the windower seals: on the analysis worker
+// (Advance) or on the finalize path after the worker has stopped (Flush)
+// — in both cases the analyzer is quiescent at the seal point, so the
+// cumulative quality read is consistent. The seal point counts the
+// window before enqueueing it, so a drain that starts after a seal
+// always waits for that window.
+func (r *Registry) windowSink(s *session) func(*core.ProfileWindow) {
+	return func(pw *core.ProfileWindow) {
+		pw.Quality = s.an.Quality()
+		if s.attr != nil {
+			pw.Regions = s.attr.Summarize(pw.Stalls)
+			// Decisions below the next window's start can never be asked
+			// for again.
+			s.attr.Drop(s.win.NextStart())
+		}
+		if s.winq == nil {
+			return
+		}
+		s.winMu.Lock()
+		s.winSealed++
+		s.winMu.Unlock()
+		s.winq <- pw
+	}
+}
+
+// storeWorker is the session's store stage: it persists sealed windows
+// so encoding and disk writes never run on the analysis worker. It takes
+// only winMu — never mu or anMu, which both sides hold while blocking on
+// a full winq.
+func (s *session) storeWorker(r *Registry) {
+	defer close(s.winqDone)
+	for pw := range s.winq {
+		if err := r.store.Append(s.id, pw); err == nil {
+			r.metrics.WindowsSealed.Add(1)
+		}
+		s.winMu.Lock()
+		s.winStored++
+		s.winMu.Unlock()
+		s.winCond.Broadcast()
+	}
+}
+
+// drainWindowsLocked blocks until the store stage has persisted every
+// window sealed so far — the second read-your-writes barrier, crossed by
+// paths that query the window store after drainLocked. Requires s.mu and
+// a prior drainLocked (together they guarantee no seal is still in
+// flight); the store worker only needs winMu, so it progresses.
+func (s *session) drainWindowsLocked() {
+	if s.winq == nil {
+		return
+	}
+	s.winMu.Lock()
+	for s.winStored < s.winSealed {
+		s.winCond.Wait()
+	}
+	s.winMu.Unlock()
+}
+
+// stopStoreStageLocked closes the store queue and waits for the worker
+// to persist everything still on it. Requires s.mu and a stopped
+// analysis stage (nothing may seal after the close); idempotent.
+func (s *session) stopStoreStageLocked() {
+	if s.winq == nil || s.winqClosed {
+		return
+	}
+	s.winqClosed = true
+	close(s.winq)
+	<-s.winqDone
+}

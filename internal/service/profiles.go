@@ -1,0 +1,182 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"emprof/internal/core"
+	"emprof/internal/profstore"
+)
+
+// ProfilesResponse is the GET /v1/sessions/{id}/profiles view: the
+// session's retained rolling windows overlapping the queried time range,
+// oldest first, with pagination cursors. A session can be queried while
+// live ("active"/"pinned") and after it ended, as long as the store
+// retains its windows ("detached").
+type ProfilesResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// WindowS/StrideS echo the windowing geometry in stream seconds (live
+	// sessions only; 0 on detached ones).
+	WindowS float64 `json:"window_s,omitempty"`
+	StrideS float64 `json:"stride_s,omitempty"`
+	// SampleRate/ClockHz echo the acquisition metadata (live sessions
+	// only) — what core.MergeWindows needs to reassemble a full profile.
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	ClockHz    float64 `json:"clock_hz,omitempty"`
+
+	Windows []core.ProfileWindow `json:"windows"`
+	// Truncated reports that part of the requested range was evicted by
+	// retention; the returned windows are the retained part.
+	Truncated bool `json:"truncated,omitempty"`
+	// More/NextAfter page: pass NextAfter as the next request's after=.
+	More      bool  `json:"more,omitempty"`
+	NextAfter int64 `json:"next_after,omitempty"`
+	// LatestIndex is the newest retained window index (-1: none yet).
+	LatestIndex int64 `json:"latest_index"`
+}
+
+// Profiles answers a window range query for a session. The error
+// contract, from the API redesign:
+//
+//   - a live session that has not sealed a window yet (or a daemon with
+//     windowing disabled) answers an empty 200 list, never 404 — the
+//     session exists, it just has no windows;
+//   - an ID neither live nor remembered by the store is ErrNotFound;
+//   - a range lying entirely in evicted windows is ErrWindowNotRetained
+//     (410): the data existed and is gone for good.
+//
+// Unlike Snapshot, a pinned session still serves its persisted windows —
+// reading the store cannot race the state hand-off.
+func (r *Registry) Profiles(id string, q profstore.Query) (*ProfilesResponse, error) {
+	r.mu.Lock()
+	closed := r.closed
+	s := r.sessions[id]
+	r.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	resp := &ProfilesResponse{ID: id, Windows: []core.ProfileWindow{}, LatestIndex: -1}
+	if s != nil {
+		s.mu.Lock()
+		s.lastActive = r.cfg.Now()
+		// Read-your-writes: windows sealed by already-ingested samples are
+		// in the store before we query it — first wait for analysis to
+		// catch up (which seals), then for the store stage to persist.
+		s.drainLocked()
+		s.drainWindowsLocked()
+		resp.State = "active"
+		if s.finalized {
+			resp.State = "finalized"
+		} else if s.pinned {
+			resp.State = "pinned"
+		}
+		resp.SampleRate, resp.ClockHz = s.sampleRate, s.clockHz
+		if s.win != nil {
+			resp.WindowS = float64(s.win.WidthSamples()) / s.sampleRate
+			resp.StrideS = float64(s.win.StrideSamples()) / s.sampleRate
+		}
+		s.mu.Unlock()
+	}
+	if r.store == nil {
+		if s == nil {
+			return nil, ErrNotFound
+		}
+		return resp, nil
+	}
+	if s == nil {
+		if !r.store.HasSession(id) {
+			return nil, ErrNotFound
+		}
+		resp.State = "detached"
+	}
+	res, err := r.store.Query(id, q)
+	if err != nil {
+		if errors.Is(err, profstore.ErrNotRetained) {
+			return nil, fmt.Errorf("%w: %v", ErrWindowNotRetained, err)
+		}
+		return nil, err
+	}
+	resp.Windows = res.Windows
+	resp.Truncated = res.Truncated
+	resp.More = res.More
+	resp.NextAfter = res.NextAfter
+	resp.LatestIndex = res.LatestIndex
+	return resp, nil
+}
+
+// parseProfilesQuery maps the profiles route's query string onto a store
+// query: from/to (stream seconds), limit, last, after (index cursor).
+func parseProfilesQuery(r *http.Request) (profstore.Query, error) {
+	q := profstore.Query{AfterIndex: -1}
+	vals := r.URL.Query()
+	getFloat := func(key string) (float64, bool, error) {
+		raw := vals.Get(key)
+		if raw == "" {
+			return 0, false, nil
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			return 0, false, fmt.Errorf("service: bad %s=%q (want seconds >= 0)", key, raw)
+		}
+		return v, true, nil
+	}
+	getInt := func(key string) (int64, bool, error) {
+		raw := vals.Get(key)
+		if raw == "" {
+			return 0, false, nil
+		}
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			return 0, false, fmt.Errorf("service: bad %s=%q (want integer >= 0)", key, raw)
+		}
+		return v, true, nil
+	}
+	var err error
+	var ok bool
+	if q.FromS, _, err = getFloat("from"); err != nil {
+		return q, err
+	}
+	var to float64
+	if to, ok, err = getFloat("to"); err != nil {
+		return q, err
+	}
+	if ok {
+		if to <= q.FromS {
+			return q, fmt.Errorf("service: empty range from=%g to=%g", q.FromS, to)
+		}
+		q.ToS = to
+	}
+	if v, ok, err := getInt("limit"); err != nil {
+		return q, err
+	} else if ok {
+		q.Limit = int(v)
+	}
+	if v, ok, err := getInt("last"); err != nil {
+		return q, err
+	} else if ok {
+		q.Last = int(v)
+	}
+	if v, ok, err := getInt("after"); err != nil {
+		return q, err
+	} else if ok {
+		q.AfterIndex = v
+	}
+	return q, nil
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	q, err := parseProfilesQuery(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := s.reg.Profiles(r.PathValue("id"), q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -28,8 +28,10 @@ import (
 	"sync"
 	"time"
 
+	"emprof/internal/attrib"
 	"emprof/internal/core"
 	"emprof/internal/em"
+	"emprof/internal/profstore"
 	"emprof/internal/trace"
 )
 
@@ -55,6 +57,28 @@ type Config struct {
 	// negative disables per-session rings (the shared trace metrics keep
 	// aggregating either way).
 	TraceRing int
+	// WindowS enables continuous profiling: every session emits rolling
+	// profile windows of this width in stream seconds, persisted to the
+	// window store and served at GET /v1/sessions/{id}/profiles. 0
+	// disables windowing (sessions still profile; only the window surface
+	// is absent).
+	WindowS float64
+	// WindowStrideS is the window stride in stream seconds; 0 means
+	// tumbling (stride = width). Overlapping windows do not merge — see
+	// core.MergeWindows.
+	WindowStrideS float64
+	// QueueBlocks bounds the per-session decode→analysis queue, in ingest
+	// blocks. A full queue blocks further body reads — backpressure rides
+	// the transport instead of growing memory. 0 means the default (8).
+	QueueBlocks int
+	// Store is the window sink; nil with WindowS > 0 means an internal
+	// memory-only store (windows then do not survive a restart).
+	Store *profstore.Store
+	// Attrib optionally carries a trained attribution model applied to
+	// every session: sealed windows then carry live stall→code-region
+	// attribution (ProfileWindow.Regions). Per-session models via
+	// CreateRequest.Attribution override it.
+	Attrib *attrib.Model
 	// Now overrides the clock, for tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -66,6 +90,7 @@ const (
 	DefaultIdleTTL         = 5 * time.Minute
 	DefaultReadTimeout     = 30 * time.Second
 	DefaultTraceRing       = 4096
+	DefaultQueueBlocks     = 8
 )
 
 func (c Config) withDefaults() Config {
@@ -83,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceRing == 0 {
 		c.TraceRing = DefaultTraceRing
+	}
+	if c.QueueBlocks <= 0 {
+		c.QueueBlocks = DefaultQueueBlocks
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -113,9 +141,19 @@ var (
 	// client-assigned session ID that already exists, or a push offset
 	// beyond the ingested stream (HTTP 409: not retryable as-is).
 	ErrConflict = errors.New("service: conflicting session state")
+	// ErrWindowNotRetained is returned when a profiles query names a time
+	// range whose windows existed but were evicted by the store's
+	// retention policy (HTTP 410: gone for good, do not retry).
+	ErrWindowNotRetained = errors.New("service: requested windows no longer retained")
 )
 
-// session is one live profiling stream.
+// session is one live profiling stream, structured as two stages joined
+// by a bounded queue (see pipeline.go): the decode stage (ingest, under
+// mu) validates and decodes wire bytes and enqueues sample blocks; the
+// analysis stage (one worker goroutine, under anMu) drains them through
+// the analyzer, the windower, and the attributor. Result-serving paths
+// first drain (analyzed catches up to enqueued) so every read observes
+// its own session's completed writes.
 type session struct {
 	id         string
 	device     string
@@ -126,9 +164,9 @@ type session struct {
 	mu         sync.Mutex
 	lastActive time.Time
 	an         *core.StreamAnalyzer
-	// emit is an.PushBlock bound once at session creation, so the hot
-	// ingest loop passes a prebuilt func value to the decoder instead of
-	// allocating a closure per request.
+	// emit is the decode→analysis boundary bound once at session
+	// creation, so the hot ingest loop passes a prebuilt func value to
+	// the decoder instead of allocating a closure per request.
 	emit func([]float64)
 	dec  *em.Decoder // nil until the first ingest chooses a wire format
 	bytes      int64
@@ -143,6 +181,44 @@ type session struct {
 	// (GET /v1/sessions/{id}/trace); nil when per-session tracing is
 	// disabled. The ring is internally synchronised.
 	ring *trace.Ring
+
+	// Analysis stage (pipeline.go). queue carries sample blocks decode →
+	// worker; free recycles their backing arrays (a channel, not a
+	// sync.Pool — Put/Get of a slice would box it and break the zero-
+	// alloc ingest path). enqueued/queueClosed are guarded by mu;
+	// analyzed/workerErr by anMu; the worker never takes mu (lock order
+	// is mu → anMu).
+	queue       chan []float64
+	free        chan []float64
+	workerDone  chan struct{}
+	enqueued    int64
+	queueClosed bool
+
+	anMu      sync.Mutex
+	cond      *sync.Cond // signals analyzed advancing
+	analyzed  int64
+	workerErr error
+
+	// Store stage (pipeline.go). winq carries sealed windows from the
+	// seal point (analysis worker, or the finalize path) to a per-session
+	// store worker, so persisting a window — encoding plus, in disk mode,
+	// the write — never runs on the analysis stage. winqClosed is guarded
+	// by mu (like queueClosed); winSealed/winStored by winMu; the store
+	// worker takes only winMu (lock order is mu → anMu → winMu).
+	winq       chan *core.ProfileWindow
+	winqDone   chan struct{}
+	winqClosed bool
+
+	winMu     sync.Mutex
+	winCond   *sync.Cond // signals winStored advancing
+	winSealed int64
+	winStored int64
+
+	// win slices the analyzed stream into rolling windows; attr attributes
+	// them to code regions. Both live on the analysis stage (anMu); nil
+	// when the feature is off.
+	win  *core.Windower
+	attr *attrib.StreamAttributor
 }
 
 // SessionInfo is the list-endpoint view of one session.
@@ -163,6 +239,11 @@ type SessionInfo struct {
 type Registry struct {
 	cfg     Config
 	metrics *Metrics
+	// store receives sealed windows and serves Profiles queries; nil when
+	// windowing is disabled. ownStore marks the internal memory store
+	// (closed with the registry; a caller-supplied store is the caller's).
+	store    *profstore.Store
+	ownStore bool
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -174,11 +255,18 @@ func NewRegistry(cfg Config, m *Metrics) *Registry {
 	if m == nil {
 		m = NewMetrics()
 	}
-	return &Registry{
+	r := &Registry{
 		cfg:      cfg.withDefaults(),
 		metrics:  m,
 		sessions: make(map[string]*session),
 	}
+	r.store = r.cfg.Store
+	if r.store == nil && r.cfg.WindowS > 0 {
+		// Memory-mode open cannot fail (no directory to touch).
+		r.store, _ = profstore.Open(profstore.Options{})
+		r.ownStore = true
+	}
+	return r
 }
 
 // Metrics returns the registry's metrics sink.
@@ -186,6 +274,9 @@ func (r *Registry) Metrics() *Metrics { return r.metrics }
 
 // Config returns the effective (defaulted) configuration.
 func (r *Registry) Config() Config { return r.cfg }
+
+// Store returns the window store (nil when windowing is disabled).
+func (r *Registry) Store() *profstore.Store { return r.store }
 
 // newSessionID returns a 128-bit random hex ID.
 func newSessionID() string {
@@ -207,17 +298,56 @@ func (r *Registry) Create(device string, sampleRate, clockHz float64, cfg core.C
 // owning shard from the ID alone. An empty id means server-assigned
 // (Create). A duplicate ID is ErrConflict.
 func (r *Registry) CreateWithID(id, device string, sampleRate, clockHz float64, cfg core.Config) (string, error) {
-	if err := validateSessionID(id); err != nil {
+	return r.CreateSession(CreateOpts{ID: id, Device: device, SampleRate: sampleRate, ClockHz: clockHz, Config: cfg})
+}
+
+// CreateOpts parameterises CreateSession — the options-struct face of
+// session creation, for callers that need more than the positional
+// Create/CreateWithID surface.
+type CreateOpts struct {
+	// ID optionally assigns the session ID client-side; empty means
+	// server-assigned.
+	ID     string
+	Device string
+	// SampleRate and ClockHz are the signal's acquisition metadata
+	// (required).
+	SampleRate, ClockHz float64
+	// Config is the profiler configuration (core.DefaultConfig for the
+	// zero value — callers that want defaults must set it explicitly,
+	// since the zero core.Config is not valid).
+	Config core.Config
+	// Attribution optionally attaches a trained model to this session,
+	// overriding Config.Attrib; windows then carry Regions.
+	Attribution *attrib.Model
+}
+
+// CreateSession opens a session from an options struct.
+func (r *Registry) CreateSession(o CreateOpts) (string, error) {
+	if err := validateSessionID(o.ID); err != nil {
 		return "", err
 	}
-	if !(sampleRate > 0) || !(clockHz > 0) {
-		return "", fmt.Errorf("service: invalid acquisition metadata rate=%v clock=%v", sampleRate, clockHz)
+	if !(o.SampleRate > 0) || !(o.ClockHz > 0) {
+		return "", fmt.Errorf("service: invalid acquisition metadata rate=%v clock=%v", o.SampleRate, o.ClockHz)
 	}
-	an, err := core.NewStreamAnalyzer(cfg, sampleRate, clockHz)
+	an, err := core.NewStreamAnalyzer(o.Config, o.SampleRate, o.ClockHz)
 	if err != nil {
 		return "", err
 	}
-	r.attachObservers(an)
+	var win *core.Windower
+	if r.cfg.WindowS > 0 {
+		win, err = core.NewWindower(r.cfg.WindowS, r.cfg.WindowStrideS, o.SampleRate, o.ClockHz)
+		if err != nil {
+			return "", err
+		}
+	}
+	var attr *attrib.StreamAttributor
+	if model := firstModel(o.Attribution, r.cfg.Attrib); model != nil && win != nil {
+		attr, err = attrib.NewStreamAttributor(model)
+		if err != nil {
+			return "", err
+		}
+	}
+	r.attachObservers(an, win)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -228,6 +358,7 @@ func (r *Registry) CreateWithID(id, device string, sampleRate, clockHz float64, 
 		r.metrics.SessionsRejected.Add(1)
 		return "", ErrFull
 	}
+	id := o.ID
 	if id == "" {
 		id = newSessionID()
 	} else if _, ok := r.sessions[id]; ok {
@@ -236,18 +367,31 @@ func (r *Registry) CreateWithID(id, device string, sampleRate, clockHz float64, 
 	now := r.cfg.Now()
 	s := &session{
 		id:         id,
-		device:     device,
-		sampleRate: sampleRate,
-		clockHz:    clockHz,
+		device:     o.Device,
+		sampleRate: o.SampleRate,
+		clockHz:    o.ClockHz,
 		created:    now,
 		lastActive: now,
 		an:         an,
-		emit:       an.PushBlock,
 		ring:       r.newRing(an),
+		win:        win,
+		attr:       attr,
 	}
+	r.startPipeline(s)
 	r.sessions[s.id] = s
 	r.metrics.SessionsTotal.Add(1)
 	return s.id, nil
+}
+
+// firstModel picks the per-session attribution model over the daemon
+// default.
+func firstModel(models ...*attrib.Model) *attrib.Model {
+	for _, m := range models {
+		if m != nil {
+			return m
+		}
+	}
+	return nil
 }
 
 // validateSessionID bounds client-assigned IDs; empty means
@@ -265,10 +409,20 @@ func validateSessionID(id string) error {
 	return nil
 }
 
-// attachObservers wires a session analyzer into the shared metrics: the
-// stall counter and the fleet-wide trace aggregator.
-func (r *Registry) attachObservers(an *core.StreamAnalyzer) {
-	an.OnStall = func(core.Stall) { r.metrics.StallsDetected.Add(1) }
+// attachObservers wires a session analyzer into the shared metrics (the
+// stall counter) and, when windowing is on, into the session's windower.
+// The OnStall hook runs inside PushBlock on the analysis worker, so the
+// windower needs no locking of its own.
+func (r *Registry) attachObservers(an *core.StreamAnalyzer, win *core.Windower) {
+	stalls := &r.metrics.StallsDetected
+	if win == nil {
+		an.OnStall = func(core.Stall) { stalls.Add(1) }
+		return
+	}
+	an.OnStall = func(st core.Stall) {
+		stalls.Add(1)
+		win.Observe(st)
+	}
 }
 
 // newRing assembles a session's decision-trace observers: the shared
@@ -349,6 +503,10 @@ func (r *Registry) ingest(s *session, format wireFormat, declaredLen, offset int
 	}
 	if s.poison != nil {
 		return IngestResult{}, fmt.Errorf("%w: %v", ErrPoisoned, s.poison)
+	}
+	if err := s.pipelineErr(); err != nil {
+		s.poison = err
+		return IngestResult{}, fmt.Errorf("%w: %v", ErrPoisoned, err)
 	}
 	if offset >= 0 && format != formatRaw {
 		return IngestResult{}, fmt.Errorf("service: push offsets apply to raw-format ingest only")
@@ -488,6 +646,7 @@ func (r *Registry) Snapshot(id string) (*Snapshot, error) {
 		return nil, ErrPinned
 	}
 	s.lastActive = r.cfg.Now()
+	s.drainLocked()
 	return s.snapshotLocked(), nil
 }
 
@@ -507,6 +666,7 @@ func (r *Registry) SnapshotJSON(id string, buf []byte) ([]byte, error) {
 		return nil, ErrPinned
 	}
 	s.lastActive = r.cfg.Now()
+	s.drainLocked()
 	var prof *core.Profile
 	if s.final == nil {
 		view := s.an.SnapshotView()
@@ -582,6 +742,9 @@ func (r *Registry) Trace(id string) (*TraceResponse, error) {
 	}
 	s.mu.Lock()
 	s.lastActive = r.cfg.Now()
+	// Drain so the trace reflects every decision the ingested samples
+	// produced — same read-your-writes contract as Snapshot.
+	s.drainLocked()
 	ring := s.ring
 	s.mu.Unlock()
 	resp := &TraceResponse{ID: s.id, Records: []trace.Record{}}
@@ -628,10 +791,24 @@ func (r *Registry) Finalize(id string) (*core.Profile, error) {
 }
 
 func (s *session) finalizeLocked() {
-	if !s.finalized {
-		s.final = s.an.Finalize()
-		s.finalized = true
+	if s.finalized {
+		return
 	}
+	// Stop the analysis stage first: drain the queue, close it, wait for
+	// the worker — after this the analyzer is exclusively ours.
+	s.stopPipelineLocked()
+	s.final = s.an.Finalize()
+	if s.win != nil {
+		// Seal the trailing window; its OnWindow hook hands it to the
+		// store stage with the stream's final quality, completing the
+		// mergeable sequence.
+		s.win.Flush(s.an.Pushed())
+	}
+	// Stop the store stage last: a finalized session leaves the registry,
+	// after which the store is the only copy queries can reach — every
+	// queued window must have landed before we let go.
+	s.stopStoreStageLocked()
+	s.finalized = true
 }
 
 // List returns every live session, oldest first.
@@ -645,6 +822,7 @@ func (r *Registry) List() []SessionInfo {
 	out := make([]SessionInfo, 0, len(sessions))
 	for _, s := range sessions {
 		s.mu.Lock()
+		s.drainLocked()
 		snap := s.an.Snapshot()
 		info := SessionInfo{
 			ID:              s.id,
@@ -726,5 +904,10 @@ func (r *Registry) Close() {
 		s.finalizeLocked()
 		s.mu.Unlock()
 		r.metrics.SessionsFinalized.Add(1)
+	}
+	// Finalize above flushed every session's trailing window into the
+	// store; only the internal memory store is ours to close.
+	if r.ownStore {
+		r.store.Close()
 	}
 }
