@@ -532,9 +532,14 @@ type ProfilesRequest struct {
 	// Limit caps the page size; pair with After to walk the sequence.
 	Limit int
 	// After is the pagination cursor: only windows with a strictly
-	// greater index are returned. Pass a ProfilesResponse's NextAfter to
-	// fetch the next page; leave 0 (or negative) to start at the front.
+	// greater index are returned. The cursor is sent when HasAfter is
+	// set or After is positive; the zero value starts at the front.
 	After int64
+	// HasAfter marks After as an explicit cursor. Cursor loops should
+	// copy a ProfilesResponse's NextAfter into After and set HasAfter: a
+	// page can legitimately end at window index 0 (NextAfter = 0), which
+	// a bare After cannot tell apart from "start at the front".
+	HasAfter bool
 	// Last, when positive, asks for the newest Last windows instead of
 	// the oldest — what a live "tail" display wants.
 	Last int
@@ -563,7 +568,7 @@ func (c *Client) Profiles(ctx context.Context, id string, req ProfilesRequest) (
 	if req.Limit > 0 {
 		q.Set("limit", strconv.Itoa(req.Limit))
 	}
-	if req.After > 0 {
+	if req.HasAfter || req.After > 0 {
 		q.Set("after", strconv.FormatInt(req.After, 10))
 	}
 	if req.Last > 0 {

@@ -128,6 +128,9 @@ func main() {
 		WindowStrideS:   *windowStrideS,
 		QueueBlocks:     *queueBlocks,
 		Store:           store,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "emprofd: "+format+"\n", args...)
+		},
 	})
 	stopGC := srv.StartGC(*gcInterval)
 	defer stopGC()

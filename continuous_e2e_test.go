@@ -140,7 +140,7 @@ func TestContinuousProfilingEndToEnd(t *testing.T) {
 		if !page.More {
 			break
 		}
-		req.After = page.NextAfter
+		req.After, req.HasAfter = page.NextAfter, true
 	}
 	if len(ranged) == 0 || len(ranged) >= len(resp.Windows) {
 		t.Fatalf("range query returned %d of %d windows, want a proper suffix", len(ranged), len(resp.Windows))
@@ -148,6 +148,24 @@ func TestContinuousProfilingEndToEnd(t *testing.T) {
 	wantSuffix := resp.Windows[len(resp.Windows)-len(ranged):]
 	if !reflect.DeepEqual(ranged, wantSuffix) {
 		t.Fatal("ranged windows are not the sequence suffix")
+	}
+
+	// Cursor at window 0: a Limit-1 first page ends at index 0 with
+	// NextAfter 0, and HasAfter must turn that into a real cursor — a
+	// bare After of 0 would restart at the front and loop forever.
+	page0, err := client2.Profiles(ctx, id, emprof.ProfilesRequest{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page0.Windows) != 1 || page0.Windows[0].Index != 0 || !page0.More || page0.NextAfter != 0 {
+		t.Fatalf("Limit=1 first page %+v, want window 0 with More and NextAfter 0", page0)
+	}
+	page1, err := client2.Profiles(ctx, id, emprof.ProfilesRequest{Limit: 1, After: page0.NextAfter, HasAfter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Windows) != 1 || page1.Windows[0].Index != 1 {
+		t.Fatalf("HasAfter cursor at 0 returned %+v, want window 1", page1.Windows)
 	}
 
 	// Unknown session: 404 mapped onto ErrSessionNotFound, not the

@@ -37,7 +37,10 @@ import (
 // and last= on its own fragment, so the union can overshoot; the router
 // trims to the caller's bounds and recomputes More/NextAfter against the
 // merged sequence, keeping the cursor loop ("pass next_after as after=")
-// valid against a fleet.
+// valid against a fleet. When a shard capped its fragment (at limit= or
+// the store's default page size) the union can also jump past windows
+// that shard still holds; the merge never serves across such a jump —
+// see the discontinuity cut below.
 func (rt *Router) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	shards := rt.Ring().Shards()
@@ -127,6 +130,24 @@ func (rt *Router) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	merged.Truncated = merged.Truncated || goneSeen
 
 	limit, last := pageBounds(r)
+	// A shard that capped its fragment (at limit=, or at the store's
+	// default page size when the caller named none) still holds windows
+	// past its last served index, while a later shard may have served
+	// higher indexes already. Serving the sorted union across that jump
+	// would point NextAfter past the capped shard's remainder and strand
+	// those windows behind the cursor forever. Cut the page at the first
+	// index discontinuity instead: the next "pass next_after as after="
+	// iteration re-fetches from the gap and walks the full sequence.
+	// Tail (last=) queries keep the newest windows by design and are not
+	// cursor-walked, so they are served uncut.
+	if anyMore && last == 0 {
+		for i := 1; i < len(merged.Windows); i++ {
+			if merged.Windows[i].Index != merged.Windows[i-1].Index+1 {
+				merged.Windows = merged.Windows[:i]
+				break
+			}
+		}
+	}
 	if last > 0 && len(merged.Windows) > last {
 		merged.Windows = merged.Windows[len(merged.Windows)-last:]
 	}

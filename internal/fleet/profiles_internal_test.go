@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"emprof/internal/core"
+	"emprof/internal/service"
+)
+
+// TestProfilesFanInCutsAtGap pins the fan-in's discontinuity cut. When
+// the caller passes no limit=, each shard still caps its fragment at the
+// store's default page size; the router must not merge a later shard's
+// higher-index windows past the truncated shard's cap — that would set
+// NextAfter beyond the capped shard's remaining windows and strand them
+// behind the cursor forever. The page has to end at the gap, with
+// NextAfter pointing the documented "pass next_after as after=" loop
+// back into it.
+func TestProfilesFanInCutsAtGap(t *testing.T) {
+	win := func(i int64) core.ProfileWindow {
+		const w = 1e-3
+		return core.ProfileWindow{Index: i, StartS: float64(i) * w, EndS: float64(i+1) * w}
+	}
+	// Shard A holds windows 0..4 but serves at most 3 per page — the
+	// shape of a store enforcing its default limit on an unbounded query.
+	shardA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		after := int64(-1)
+		if raw := r.URL.Query().Get("after"); raw != "" {
+			v, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad after=%q", raw)
+				return
+			}
+			after = v
+		}
+		resp := service.ProfilesResponse{ID: "s1", State: "detached", Windows: []core.ProfileWindow{}, LatestIndex: 4}
+		for i := after + 1; i <= 4 && len(resp.Windows) < 3; i++ {
+			resp.Windows = append(resp.Windows, win(i))
+		}
+		if n := len(resp.Windows); n > 0 && resp.Windows[n-1].Index < 4 {
+			resp.More, resp.NextAfter = true, resp.Windows[n-1].Index
+		}
+		writeJSON(w, http.StatusOK, &resp)
+	}))
+	defer shardA.Close()
+	// Shard B holds the post-hand-off tail 5..7, well within its page.
+	shardB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		after := int64(-1)
+		if raw := r.URL.Query().Get("after"); raw != "" {
+			after, _ = strconv.ParseInt(raw, 10, 64)
+		}
+		resp := service.ProfilesResponse{ID: "s1", State: "detached", Windows: []core.ProfileWindow{}, LatestIndex: 7}
+		for i := int64(5); i <= 7; i++ {
+			if i > after {
+				resp.Windows = append(resp.Windows, win(i))
+			}
+		}
+		writeJSON(w, http.StatusOK, &resp)
+	}))
+	defer shardB.Close()
+
+	rt, err := NewRouter(Config{Shards: []string{shardA.URL, shardB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+	getPage := func(query string) service.ProfilesResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/sessions/s1/profiles"+query, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("fan-in%s: HTTP %d: %s", query, rec.Code, rec.Body)
+		}
+		var resp service.ProfilesResponse
+		if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	first := getPage("")
+	if n := len(first.Windows); n != 3 || first.Windows[n-1].Index != 2 {
+		t.Fatalf("first page spans windows %v, want exactly 0..2 (cut at shard A's cap)", first.Windows)
+	}
+	if !first.More || first.NextAfter != 2 {
+		t.Fatalf("first page more=%v next_after=%d, want more with next_after=2", first.More, first.NextAfter)
+	}
+
+	// The cursor loop must then walk the complete gapless sequence.
+	all := first.Windows
+	for page := first; page.More; {
+		page = getPage("?after=" + strconv.FormatInt(page.NextAfter, 10))
+		all = append(all, page.Windows...)
+		if len(all) > 8 {
+			t.Fatalf("cursor loop runs past the sequence: %d windows", len(all))
+		}
+	}
+	if len(all) != 8 {
+		t.Fatalf("cursor walk collected %d windows, want 8", len(all))
+	}
+	for i, w := range all {
+		if w.Index != int64(i) {
+			t.Fatalf("cursor walk gapped at position %d: index %d", i, w.Index)
+		}
+	}
+}

@@ -409,8 +409,14 @@ type Query struct {
 	// FromS and ToS bound the stream-time range [FromS, ToS); ToS <= 0
 	// means unbounded.
 	FromS, ToS float64
-	// AfterIndex, when >= 0, returns only windows with a strictly larger
-	// index — the pagination cursor (Result.NextAfter).
+	// HasAfter engages the pagination cursor: only windows with an index
+	// strictly greater than AfterIndex are returned. The zero Query has
+	// no cursor — every retained window in range matches. As a
+	// convenience a bare AfterIndex > 0 also engages the cursor, so
+	// copying Result.NextAfter straight into AfterIndex pages correctly
+	// except across a page ending at window 0; cursor loops should set
+	// HasAfter, which expresses "after window 0" unambiguously.
+	HasAfter   bool
 	AfterIndex int64
 	// Limit caps the returned windows (<= 0 means the default 512).
 	Limit int
@@ -486,9 +492,10 @@ func (st *Store) Query(session string, q Query) (Result, error) {
 		}
 		res.Truncated = true
 	}
+	cursor := q.HasAfter || q.AfterIndex > 0
 	var picked []entry
 	for _, e := range entries {
-		if q.AfterIndex >= 0 && e.idx <= q.AfterIndex {
+		if cursor && e.idx <= q.AfterIndex {
 			continue
 		}
 		if inRange(e) {

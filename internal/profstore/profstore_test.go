@@ -59,7 +59,7 @@ func TestRoundTripAndRangeQuery(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		res, err := st.Query("sess", Query{AfterIndex: -1})
+		res, err := st.Query("sess", Query{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func TestRoundTripAndRangeQuery(t *testing.T) {
 			t.Fatalf("dir=%q: unexpected result flags %+v", dir, res)
 		}
 		// Range [5ms, 8ms) → windows 5,6,7.
-		res, err = st.Query("sess", Query{FromS: 5 * width, ToS: 8 * width, AfterIndex: -1})
+		res, err = st.Query("sess", Query{FromS: 5 * width, ToS: 8 * width})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func TestRoundTripAndRangeQuery(t *testing.T) {
 			t.Fatalf("dir=%q: range query returned %d windows (first %v)", dir, len(res.Windows), res.Windows)
 		}
 		// Unknown session: empty, no error (caller decides 404).
-		res, err = st.Query("nope", Query{AfterIndex: -1})
+		res, err = st.Query("nope", Query{})
 		if err != nil || len(res.Windows) != 0 || res.LatestIndex != -1 {
 			t.Fatalf("dir=%q: unknown session: %v %+v", dir, err, res)
 		}
@@ -93,10 +93,10 @@ func TestPagination(t *testing.T) {
 		}
 	}
 	var got []core.ProfileWindow
-	after := int64(-1)
+	q := Query{Limit: 7}
 	pages := 0
 	for {
-		res, err := st.Query("s", Query{AfterIndex: after, Limit: 7})
+		res, err := st.Query("s", q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func TestPagination(t *testing.T) {
 		if !res.More {
 			break
 		}
-		after = res.NextAfter
+		q.HasAfter, q.AfterIndex = true, res.NextAfter
 	}
 	if len(got) != 25 || pages != 4 {
 		t.Fatalf("pagination returned %d windows over %d pages", len(got), pages)
@@ -116,9 +116,43 @@ func TestPagination(t *testing.T) {
 		}
 	}
 	// Last=3 tails the sequence.
-	res, err := st.Query("s", Query{AfterIndex: -1, Last: 3})
+	res, err := st.Query("s", Query{Last: 3})
 	if err != nil || len(res.Windows) != 3 || res.Windows[0].Index != 22 {
 		t.Fatalf("Last query: %v %+v", err, res.Windows)
+	}
+}
+
+// TestQueryZeroValueAndCursorZero pins two cursor edge cases: the zero
+// Query has no cursor (window 0 is included, not silently skipped), and
+// a page that ends at window 0 (Limit 1) hands back NextAfter 0, which
+// HasAfter turns into a real "after window 0" cursor.
+func TestQueryZeroValueAndCursorZero(t *testing.T) {
+	st := openTest(t, "", Options{})
+	for i := int64(0); i < 3; i++ {
+		if err := st.Append("s", testWindow(i, 1e-3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := st.Query("s", Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 3 || res.Windows[0].Index != 0 {
+		t.Fatalf("zero-value query returned %+v, want windows 0..2", res.Windows)
+	}
+	page, err := st.Query("s", Query{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Windows) != 1 || page.Windows[0].Index != 0 || !page.More || page.NextAfter != 0 {
+		t.Fatalf("first Limit=1 page %+v, want window 0 with More and NextAfter 0", page)
+	}
+	next, err := st.Query("s", Query{HasAfter: true, AfterIndex: page.NextAfter, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Windows) != 1 || next.Windows[0].Index != 1 {
+		t.Fatalf("HasAfter cursor at 0 returned %+v, want window 1", next.Windows)
 	}
 }
 
@@ -165,7 +199,7 @@ func TestCrashReopenProperty(t *testing.T) {
 		}
 
 		st2 := openTest(t, dir, Options{SegmentBytes: 1 << 20})
-		res, err := st2.Query("s", Query{AfterIndex: -1, Limit: 1000})
+		res, err := st2.Query("s", Query{Limit: 1000})
 		if err != nil {
 			t.Fatalf("trial %d: query after reopen: %v", trial, err)
 		}
@@ -184,7 +218,7 @@ func TestCrashReopenProperty(t *testing.T) {
 		if err := st2.Append("s", testWindow(next, 1e-3)); err != nil {
 			t.Fatalf("trial %d: append after reopen: %v", trial, err)
 		}
-		res2, err := st2.Query("s", Query{AfterIndex: -1, Limit: 1000})
+		res2, err := st2.Query("s", Query{Limit: 1000})
 		if err != nil || len(res2.Windows) != len(res.Windows)+1 {
 			t.Fatalf("trial %d: post-reopen append not visible: %v", trial, err)
 		}
@@ -219,7 +253,7 @@ func TestRetentionEvictionProperty(t *testing.T) {
 		if st.Stats().Evictions == 0 {
 			t.Fatalf("trial %d: no segment evicted after %d appends", trial, n)
 		}
-		res, err := st.Query("s", Query{AfterIndex: -1, Limit: n + 1})
+		res, err := st.Query("s", Query{Limit: n + 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,12 +272,12 @@ func TestRetentionEvictionProperty(t *testing.T) {
 		}
 		// Query entirely inside the evicted prefix → ErrNotRetained.
 		if first > 0 {
-			_, err := st.Query("s", Query{FromS: 0, ToS: float64(first) * width, AfterIndex: -1})
+			_, err := st.Query("s", Query{FromS: 0, ToS: float64(first) * width})
 			if !errors.Is(err, ErrNotRetained) {
 				t.Fatalf("trial %d: evicted-range query: %v", trial, err)
 			}
 			// Query spanning the eviction boundary → Truncated.
-			res, err := st.Query("s", Query{FromS: 0, AfterIndex: -1, Limit: n + 1})
+			res, err := st.Query("s", Query{FromS: 0, Limit: n + 1})
 			if err != nil || !res.Truncated {
 				t.Fatalf("trial %d: spanning query not truncated: %v %+v", trial, err, res)
 			}
@@ -254,7 +288,7 @@ func TestRetentionEvictionProperty(t *testing.T) {
 			st.Close()
 			st2 := openTest(t, dir, Options{SegmentBytes: segBytes, MaxBytes: maxBytes})
 			if first > 0 {
-				_, err := st2.Query("s", Query{FromS: 0, ToS: float64(first) * width, AfterIndex: -1})
+				_, err := st2.Query("s", Query{FromS: 0, ToS: float64(first) * width})
 				if !errors.Is(err, ErrNotRetained) {
 					t.Fatalf("trial %d: eviction watermark lost across reopen: %v", trial, err)
 				}
@@ -288,7 +322,7 @@ func TestAgeEviction(t *testing.T) {
 	if after.Segments > 2 {
 		t.Fatalf("expected only fresh segments to survive, have %d", after.Segments)
 	}
-	res, err := st.Query("s", Query{AfterIndex: -1, Limit: 100})
+	res, err := st.Query("s", Query{Limit: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +337,7 @@ func TestClosedStore(t *testing.T) {
 	if err := st.Append("s", testWindow(0, 1e-3)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("append on closed store: %v", err)
 	}
-	if _, err := st.Query("s", Query{AfterIndex: -1}); !errors.Is(err, ErrClosed) {
+	if _, err := st.Query("s", Query{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("query on closed store: %v", err)
 	}
 }
@@ -324,7 +358,7 @@ func TestSegmentRoll(t *testing.T) {
 	st.Close()
 	st2 := openTest(t, dir, Options{SegmentBytes: 1 << 10})
 	for s := 0; s < 3; s++ {
-		res, err := st2.Query(fmt.Sprintf("s%d", s), Query{AfterIndex: -1, Limit: 100})
+		res, err := st2.Query(fmt.Sprintf("s%d", s), Query{Limit: 100})
 		if err != nil || len(res.Windows) != 10 {
 			t.Fatalf("session s%d after reopen: %v, %d windows", s, err, len(res.Windows))
 		}

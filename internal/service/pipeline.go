@@ -191,8 +191,19 @@ func (r *Registry) windowSink(s *session) func(*core.ProfileWindow) {
 // a full winq.
 func (s *session) storeWorker(r *Registry) {
 	defer close(s.winqDone)
+	var dropLogged bool
 	for pw := range s.winq {
-		if err := r.store.Append(s.id, pw); err == nil {
+		if err := r.store.Append(s.id, pw); err != nil {
+			// The window is gone — profile history silently shrinks — so
+			// make the loss observable: count every drop, and log the
+			// first per session (a sick disk fails every append; one line
+			// names the cause without flooding at window rate).
+			r.metrics.WindowsDropped.Add(1)
+			if !dropLogged {
+				dropLogged = true
+				r.cfg.Logf("service: session %s: window %d dropped, store append failed: %v", s.id, pw.Index, err)
+			}
+		} else {
 			r.metrics.WindowsSealed.Add(1)
 		}
 		s.winMu.Lock()

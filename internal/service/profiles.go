@@ -110,7 +110,7 @@ func (r *Registry) Profiles(id string, q profstore.Query) (*ProfilesResponse, er
 // parseProfilesQuery maps the profiles route's query string onto a store
 // query: from/to (stream seconds), limit, last, after (index cursor).
 func parseProfilesQuery(r *http.Request) (profstore.Query, error) {
-	q := profstore.Query{AfterIndex: -1}
+	q := profstore.Query{}
 	vals := r.URL.Query()
 	getFloat := func(key string) (float64, bool, error) {
 		raw := vals.Get(key)
@@ -162,6 +162,9 @@ func parseProfilesQuery(r *http.Request) (profstore.Query, error) {
 	if v, ok, err := getInt("after"); err != nil {
 		return q, err
 	} else if ok {
+		// after=0 is a real cursor (a page can end at window 0), so the
+		// presence of the parameter, not its value, engages it.
+		q.HasAfter = true
 		q.AfterIndex = v
 	}
 	return q, nil

@@ -79,6 +79,10 @@ type Config struct {
 	// attribution (ProfileWindow.Regions). Per-session models via
 	// CreateRequest.Attribution override it.
 	Attrib *attrib.Model
+	// Logf, when set, receives operational log lines the metrics alone
+	// would bury (window-store append failures and the like); nil
+	// discards them.
+	Logf func(format string, args ...any)
 	// Now overrides the clock, for tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -111,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueBlocks <= 0 {
 		c.QueueBlocks = DefaultQueueBlocks
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
 	}
 	if c.Now == nil {
 		c.Now = time.Now

@@ -3,12 +3,15 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strconv"
+	"strings"
+	"sync"
 	"testing"
 
 	"emprof/internal/attrib"
@@ -147,6 +150,70 @@ func TestProfilesPagination(t *testing.T) {
 	if len(tail.Windows) != 3 || tail.Windows[2].Index != all.Windows[len(all.Windows)-1].Index {
 		t.Fatalf("last=3 returned %d windows ending at %d", len(tail.Windows), tail.Windows[len(tail.Windows)-1].Index)
 	}
+
+	// A page ending at window 0 (limit=1, no cursor) answers NextAfter 0,
+	// and resubmitting after=0 must advance to window 1 — index 0 is a
+	// real cursor value, not "start at the front".
+	page0, _ := getProfiles(t, ts, id, "?limit=1")
+	if len(page0.Windows) != 1 || page0.Windows[0].Index != 0 || !page0.More || page0.NextAfter != 0 {
+		t.Fatalf("limit=1 first page %+v, want window 0 with More and NextAfter 0", page0)
+	}
+	page1, _ := getProfiles(t, ts, id, "?limit=1&after=0")
+	if len(page1.Windows) != 1 || page1.Windows[0].Index != 1 {
+		t.Fatalf("after=0 returned %+v, want window 1", page1.Windows)
+	}
+}
+
+// TestStoreAppendFailureObservable pins the store stage's failure
+// accounting: when Append starts failing, dropped windows are counted
+// (emprofd_windows_dropped_total) and the first loss is logged — not
+// silently folded into a successful drain.
+func TestStoreAppendFailureObservable(t *testing.T) {
+	store, err := profstore.Open(profstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var lines []string
+	srv, ts := newTestServer(t, Config{WindowS: 2e-5, Store: store, Logf: func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}})
+	capture := testSignal(30000)
+	id := createSession(t, ts, capture.SampleRate, capture.ClockHz)
+	enc := rawBytes(capture.Samples)
+	if code, msg := postSamples(t, ts, id, enc[:len(enc)/2], ContentTypeRaw); code != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d: %s", code, msg)
+	}
+	before, _ := getProfiles(t, ts, id, "")
+	if len(before.Windows) == 0 {
+		t.Fatal("no windows sealed before the store failure")
+	}
+	sealed := srv.Registry().Metrics().WindowsSealed.Load()
+
+	// Every Append now fails; the second half's windows are lost.
+	store.Close()
+	if code, msg := postSamples(t, ts, id, enc[len(enc)/2:], ContentTypeRaw); code != http.StatusOK {
+		t.Fatalf("ingest after store close: HTTP %d: %s", code, msg)
+	}
+	// The profiles route drains both pipeline barriers before touching
+	// the store, so after it returns (however unhappily) every sealed
+	// window has been through the store worker.
+	getProfiles(t, ts, id, "")
+
+	m := srv.Registry().Metrics()
+	if m.WindowsDropped.Load() == 0 {
+		t.Fatal("store append failures left WindowsDropped at 0")
+	}
+	if m.WindowsSealed.Load() != sealed {
+		t.Fatalf("WindowsSealed advanced from %d to %d across a dead store", sealed, m.WindowsSealed.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 || !strings.Contains(lines[0], id) {
+		t.Fatalf("store failure logged %q, want one line naming session %s", lines, id)
+	}
 }
 
 // TestProfilesErrorContract pins the API redesign's error mapping: empty
@@ -192,7 +259,7 @@ func TestProfilesErrorContract(t *testing.T) {
 	if _, code := getProfiles(t, ts2, id2, "?from=0&to="+floatQuery(oldest/2)); code != http.StatusGone {
 		t.Fatalf("evicted range: HTTP %d, want 410", code)
 	}
-	_, err = srv2.Registry().Profiles(id2, profstore.Query{AfterIndex: -1, ToS: oldest / 2})
+	_, err = srv2.Registry().Profiles(id2, profstore.Query{ToS: oldest / 2})
 	if !errors.Is(err, ErrWindowNotRetained) {
 		t.Fatalf("registry error %v does not wrap ErrWindowNotRetained", err)
 	}
@@ -295,11 +362,11 @@ func TestHandoffWindowContinuity(t *testing.T) {
 	}
 
 	// Each shard's store holds its half of the window sequence.
-	resA, err := regA.Store().Query(id, profstore.Query{AfterIndex: -1})
+	resA, err := regA.Store().Query(id, profstore.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resB, err := regB.Store().Query(id, profstore.Query{AfterIndex: -1})
+	resB, err := regB.Store().Query(id, profstore.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +437,7 @@ func TestWindowsCarryRegions(t *testing.T) {
 	if _, err := reg.Finalize(id); err != nil {
 		t.Fatal(err)
 	}
-	res, err := reg.Store().Query(id, profstore.Query{AfterIndex: -1})
+	res, err := reg.Store().Query(id, profstore.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
